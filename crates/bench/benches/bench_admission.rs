@@ -1,0 +1,158 @@
+//! Table 2 kernel benchmark: the full round-trip admission test under
+//! WFQ and RCSP, and the handoff variant consuming a claim.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use arm_net::flowspec::{QosRequest, TrafficSpec};
+use arm_net::ids::{NodeId, PortableId};
+use arm_net::link::ResvClaim;
+use arm_net::routing::shortest_path;
+use arm_net::topology::Topology;
+use arm_net::{Connection, Network};
+use arm_qos::admission::{admit, AdmissionRequest, Discipline, MobilityClass, RequestKind};
+use arm_sim::SimTime;
+
+fn testbed() -> (Network, arm_net::ids::CellId, arm_net::ids::CellId) {
+    let mut t = Topology::new();
+    let sw = t.add_switch("sw");
+    let c0 = t.add_cell("c0", 160_000.0, 0.01);
+    let c1 = t.add_cell("c1", 160_000.0, 0.01);
+    t.add_wired_duplex(sw, t.base_station(c0), 1_000_000.0, 0.0);
+    t.add_wired_duplex(sw, t.base_station(c1), 1_000_000.0, 0.0);
+    (Network::new(t), c0, c1)
+}
+
+fn qos() -> QosRequest {
+    QosRequest::bandwidth(64.0, 256.0)
+        .with_delay(2.0)
+        .with_jitter(2.0)
+        .with_loss(0.05)
+        .with_traffic(TrafficSpec::new(8.0, 64.0))
+}
+
+fn bench_admission(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_admission");
+    for (discipline, name) in [(Discipline::Wfq, "wfq"), (Discipline::Rcsp, "rcsp")] {
+        group.bench_function(format!("admit_new_{name}"), |b| {
+            b.iter_batched(
+                || {
+                    let (mut net, c0, c1) = testbed();
+                    let id = net.next_conn_id();
+                    let route = shortest_path(
+                        net.topology(),
+                        net.topology().air_node(c0),
+                        net.topology().air_node(c1),
+                    )
+                    .expect("connected");
+                    net.install(Connection::new(
+                        id,
+                        PortableId(0),
+                        c0,
+                        NodeId(0),
+                        qos(),
+                        route,
+                        SimTime::ZERO,
+                    ));
+                    (net, id)
+                },
+                |(mut net, id)| {
+                    admit(
+                        &mut net,
+                        AdmissionRequest {
+                            conn: id,
+                            discipline,
+                            mobility: MobilityClass::Mobile,
+                            kind: RequestKind::New,
+                        },
+                    )
+                    .expect("feasible")
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.bench_function("admit_handoff_with_claim", |b| {
+        b.iter_batched(
+            || {
+                let (mut net, c0, c1) = testbed();
+                let id = net.next_conn_id();
+                let route = shortest_path(
+                    net.topology(),
+                    net.topology().air_node(c0),
+                    net.topology().air_node(c1),
+                )
+                .expect("connected");
+                net.install(Connection::new(
+                    id,
+                    PortableId(0),
+                    c0,
+                    NodeId(0),
+                    qos(),
+                    route,
+                    SimTime::ZERO,
+                ));
+                let wl = net.topology().wireless_link(c1);
+                net.link_mut(wl).set_claim(ResvClaim::Conn(id), 64.0);
+                (net, id)
+            },
+            |(mut net, id)| {
+                admit(
+                    &mut net,
+                    AdmissionRequest {
+                        conn: id,
+                        discipline: Discipline::Wfq,
+                        mobility: MobilityClass::Mobile,
+                        kind: RequestKind::Handoff,
+                    },
+                )
+                .expect("feasible")
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    // The rejection path (bandwidth row fails at the last hop).
+    group.bench_function("reject_bandwidth", |b| {
+        b.iter_batched(
+            || {
+                let (mut net, c0, c1) = testbed();
+                let wl = net.topology().wireless_link(c1);
+                net.link_mut(wl)
+                    .set_claim(ResvClaim::DynPool, 159_990.0);
+                let id = net.next_conn_id();
+                let route = shortest_path(
+                    net.topology(),
+                    net.topology().air_node(c0),
+                    net.topology().air_node(c1),
+                )
+                .expect("connected");
+                net.install(Connection::new(
+                    id,
+                    PortableId(0),
+                    c0,
+                    NodeId(0),
+                    qos(),
+                    route,
+                    SimTime::ZERO,
+                ));
+                (net, id)
+            },
+            |(mut net, id)| {
+                admit(
+                    &mut net,
+                    AdmissionRequest {
+                        conn: id,
+                        discipline: Discipline::Wfq,
+                        mobility: MobilityClass::Mobile,
+                        kind: RequestKind::New,
+                    },
+                )
+                .expect_err("infeasible")
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_admission);
+criterion_main!(benches);

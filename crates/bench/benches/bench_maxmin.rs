@@ -1,0 +1,121 @@
+//! Maxmin kernels: centralized water-filling vs the distributed protocol
+//! (flooding vs refined), and the advertised-rate computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use arm_net::ids::{ConnId, LinkId};
+use arm_qos::maxmin::advertised::{advertised_rate, advertised_rate_for};
+use arm_qos::maxmin::centralized::{ConnDemand, MaxminProblem};
+use arm_qos::maxmin::distributed::{DistributedMaxmin, Ev, Variant};
+use arm_sim::{Engine, SimDuration, SimRng, SimTime};
+
+/// Parking-lot problem: chain of `n` links, one long flow + `k` cross
+/// flows per link.
+fn parking_lot(n: usize, k: usize, rng: &mut SimRng) -> MaxminProblem {
+    let mut p = MaxminProblem::default();
+    for l in 0..n {
+        p.link_excess
+            .insert(LinkId(l as u32), rng.uniform(10.0, 60.0));
+    }
+    let mut id = 0u32;
+    p.conns.insert(
+        ConnId(id),
+        ConnDemand {
+            demand: 1e6,
+            links: (0..n).map(|l| LinkId(l as u32)).collect(),
+        },
+    );
+    id += 1;
+    for l in 0..n {
+        for _ in 0..k {
+            p.conns.insert(
+                ConnId(id),
+                ConnDemand {
+                    demand: if rng.chance(0.3) {
+                        rng.uniform(1.0, 8.0)
+                    } else {
+                        1e6
+                    },
+                    links: vec![LinkId(l as u32)],
+                },
+            );
+            id += 1;
+        }
+    }
+    p
+}
+
+fn bench_centralized(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxmin_centralized");
+    for (n, k) in [(4usize, 2usize), (8, 4), (16, 8), (32, 8)] {
+        let mut rng = SimRng::new(1);
+        let p = parking_lot(n, k, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("solve", format!("{n}l_{}c", p.conns.len())),
+            &p,
+            |b, p| b.iter(|| p.solve()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_distributed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxmin_distributed");
+    group.sample_size(20);
+    for variant in [Variant::Flooding, Variant::Refined] {
+        for (n, k) in [(4usize, 2usize), (8, 4)] {
+            let mut rng = SimRng::new(1);
+            let p = parking_lot(n, k, &mut rng);
+            group.bench_with_input(
+                BenchmarkId::new(
+                    format!("{variant:?}"),
+                    format!("{n}l_{}c", p.conns.len()),
+                ),
+                &p,
+                |b, p| {
+                    b.iter(|| {
+                        let mut proto =
+                            DistributedMaxmin::new(variant, SimDuration::from_millis(1));
+                        for (l, cap) in &p.link_excess {
+                            proto.add_link(*l, *cap);
+                        }
+                        for (cid, d) in &p.conns {
+                            proto.add_conn(*cid, d.links.clone(), d.demand);
+                        }
+                        let mut engine = Engine::new(proto).with_event_budget(10_000_000);
+                        for (l, cap) in &p.link_excess {
+                            engine.schedule_at(
+                                SimTime::ZERO,
+                                Ev::ChangeExcess {
+                                    link: *l,
+                                    excess: *cap,
+                                },
+                            );
+                        }
+                        engine.run();
+                        engine.model().stats()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_advertised(c: &mut Criterion) {
+    let mut group = c.benchmark_group("advertised_rate");
+    for n in [4usize, 16, 64] {
+        let mut rng = SimRng::new(2);
+        let recorded: Vec<f64> = (0..n).map(|_| rng.uniform(0.0, 20.0)).collect();
+        group.bench_with_input(BenchmarkId::new("mu", n), &recorded, |b, r| {
+            b.iter(|| advertised_rate(100.0, r))
+        });
+        group.bench_with_input(BenchmarkId::new("mu_for", n), &recorded, |b, r| {
+            b.iter(|| advertised_rate_for(100.0, r))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_centralized, bench_distributed, bench_advertised);
+criterion_main!(benches);

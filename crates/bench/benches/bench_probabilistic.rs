@@ -1,0 +1,55 @@
+//! The §6.3 kernels: exact binomial convolution for `P_nb` (eqn 5), the
+//! per-arrival admission decision, and the `N_i` maximisation (eqn 7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use arm_reservation::probabilistic::{
+    binom_pmf, ProbabilisticConfig, ProbabilisticReservation, TypeState,
+};
+
+fn fig6_state(n1: u32, s1: u32, n2: u32, s2: u32) -> Vec<TypeState> {
+    vec![
+        TypeState {
+            b_min: 1.0,
+            mu: 5.0,
+            n_current: n1,
+            s_neighbor: s1,
+        },
+        TypeState {
+            b_min: 4.0,
+            mu: 4.0,
+            n_current: n2,
+            s_neighbor: s2,
+        },
+    ]
+}
+
+fn bench_probabilistic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("probabilistic");
+    let solver = ProbabilisticReservation::new(ProbabilisticConfig::fig6(0.05, 0.01));
+    for load in [10u32, 25, 38] {
+        let types = fig6_state(load, load, 1, 1);
+        let admitted = [load, 1];
+        group.bench_with_input(
+            BenchmarkId::new("nonblocking_prob", load),
+            &types,
+            |b, t| b.iter(|| solver.nonblocking_prob(t, &admitted)),
+        );
+        group.bench_with_input(BenchmarkId::new("admit_new", load), &types, |b, t| {
+            b.iter(|| solver.admit_new(t, 0))
+        });
+    }
+    let types = fig6_state(10, 10, 1, 1);
+    group.bench_function("max_admissible", |b| {
+        b.iter(|| solver.max_admissible(&types))
+    });
+    for n in [10u32, 40, 100] {
+        group.bench_with_input(BenchmarkId::new("binom_pmf", n), &n, |b, n| {
+            b.iter(|| binom_pmf(*n, 0.37))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_probabilistic);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! Theorem 1: the event-driven distributed rate-allocation protocol
+//! converges to the centralized maxmin optimum, and the `M(l)`-restricted
+//! refinement "significantly reduces the number of overhead messages"
+//! relative to the flooding base version.
+
+use arm_net::ids::{ConnId, LinkId};
+use arm_qos::maxmin::centralized::{ConnDemand, MaxminProblem};
+use arm_qos::maxmin::distributed::{DistributedMaxmin, Ev, Variant};
+use arm_sim::{Engine, SimDuration, SimRng, SimTime};
+
+/// Build a random parking-lot style problem: a chain of `n_links` links
+/// with one long flow plus `cross` cross flows per link.
+fn random_problem(n_links: usize, cross: usize, rng: &mut SimRng) -> MaxminProblem {
+    let mut p = MaxminProblem::default();
+    for l in 0..n_links {
+        p.link_excess
+            .insert(LinkId(l as u32), rng.uniform(5.0, 50.0));
+    }
+    let mut next_conn = 0u32;
+    // Long flow.
+    p.conns.insert(
+        ConnId(next_conn),
+        ConnDemand {
+            demand: 1000.0,
+            links: (0..n_links).map(|l| LinkId(l as u32)).collect(),
+        },
+    );
+    next_conn += 1;
+    for l in 0..n_links {
+        for _ in 0..cross {
+            let demand = if rng.chance(0.3) {
+                rng.uniform(0.5, 10.0)
+            } else {
+                1000.0
+            };
+            p.conns.insert(
+                ConnId(next_conn),
+                ConnDemand {
+                    demand,
+                    links: vec![LinkId(l as u32)],
+                },
+            );
+            next_conn += 1;
+        }
+    }
+    p
+}
+
+fn run_variant(p: &MaxminProblem, variant: Variant) -> (DistributedMaxmin, u64) {
+    let mut proto = DistributedMaxmin::new(variant, SimDuration::from_millis(1));
+    for (l, cap) in &p.link_excess {
+        proto.add_link(*l, *cap);
+    }
+    for (c, d) in &p.conns {
+        proto.add_conn(*c, d.links.clone(), d.demand);
+    }
+    let mut engine = Engine::new(proto).with_event_budget(10_000_000);
+    for (l, cap) in &p.link_excess {
+        engine.schedule_at(SimTime::ZERO, Ev::ChangeExcess { link: *l, excess: *cap });
+    }
+    engine.run();
+    let elapsed = engine.now().ticks() / 1000; // ms of virtual time
+    (engine.into_model(), elapsed)
+}
+
+fn main() {
+    println!("== Theorem 1: distributed maxmin convergence & message overhead ==\n");
+    println!(
+        "{:>6} {:>6}  {:>12} {:>12} {:>10}  {:>12} {:>12} {:>10}  {:>8}",
+        "links",
+        "conns",
+        "flood-adv",
+        "flood-upd",
+        "flood-ms",
+        "refined-adv",
+        "refined-upd",
+        "refined-ms",
+        "saving"
+    );
+    let mut rng = SimRng::new(2026);
+    for (n_links, cross) in [(3, 2), (5, 3), (8, 4), (12, 5), (16, 6)] {
+        let p = random_problem(n_links, cross, &mut rng);
+        let expect = p.solve();
+        let (flood, flood_ms) = run_variant(&p, Variant::Flooding);
+        let (refined, refined_ms) = run_variant(&p, Variant::Refined);
+        // Verify Theorem 1 on both variants.
+        for (model, name) in [(&flood, "flooding"), (&refined, "refined")] {
+            for (c, x) in &expect {
+                let got = model.rates().get(c).copied().unwrap_or(0.0);
+                assert!(
+                    (got - x).abs() < 1e-6,
+                    "{name} diverged on {c:?}: {got} vs {x}"
+                );
+            }
+        }
+        let fs = flood.stats();
+        let rs = refined.stats();
+        let saving = 1.0
+            - (rs.advertise_hops + rs.update_hops) as f64
+                / (fs.advertise_hops + fs.update_hops).max(1) as f64;
+        println!(
+            "{:>6} {:>6}  {:>12} {:>12} {:>10}  {:>12} {:>12} {:>10}  {:>7.1}%",
+            n_links,
+            p.conns.len(),
+            fs.advertise_hops,
+            fs.update_hops,
+            flood_ms,
+            rs.advertise_hops,
+            rs.update_hops,
+            refined_ms,
+            saving * 100.0
+        );
+    }
+    println!("\nBoth variants converged to the centralized maxmin optimum on every");
+    println!("instance (asserted). The refined variant initiates ADVERTISE packets");
+    println!("only toward connections whose rate can change, cutting overhead.");
+}

@@ -1,0 +1,97 @@
+//! Table 1: cell and portable profile contents.
+//!
+//! Prints the schema (per class: handoff activity + profile contents)
+//! and then a live dump of profiles aggregated from a short §7.1-style
+//! run, showing the ⟨i, ∀j ∈ η(c): {j, p_j}⟩ rows and the portable's
+//! ⟨prev, cur, next-predicted⟩ triplets.
+
+use arm_mobility::environment::Figure4;
+use arm_mobility::models::office_case::{self, OfficeCaseParams};
+use arm_profiles::{CellClass, LoungeKind, ProfileServer};
+use arm_sim::SimRng;
+
+fn main() {
+    println!("== Table 1: cell and portable profiles ==\n");
+    println!("schema (per Table 1):");
+    for class in [
+        CellClass::Office,
+        CellClass::Corridor,
+        CellClass::Lounge(LoungeKind::MeetingRoom),
+        CellClass::Lounge(LoungeKind::Cafeteria),
+        CellClass::Lounge(LoungeKind::Default),
+    ] {
+        let contents = match class {
+            CellClass::Office => "ω(c), η(c), ∀i∈η(c) ⟨i, ∀j∈η(c) {j, p_j}⟩",
+            CellClass::Corridor => "η(c), ∀i∈η(c) ⟨i, ∀j∈η(c) {j, p_j}⟩",
+            CellClass::Lounge(LoungeKind::MeetingRoom) => {
+                "η(c), booking calendar, ∀i∈η(c) ⟨i, ∀j∈η(c) {j, p_j}⟩"
+            }
+            _ => "η(c), ∀i∈η(c) ⟨i, ∀j∈η(c) {j, p_j}⟩",
+        };
+        println!(
+            "  {:<22} activity: {:<28} contents: {contents}",
+            class.to_string(),
+            class.handoff_activity()
+        );
+    }
+    println!("  {:<22} contents: ∀i ⟨prev, cur, next-predicted-cell⟩", "portable");
+
+    // Live dump from a scaled-down workweek.
+    let f4 = Figure4::build();
+    let params = OfficeCaseParams::default();
+    let mut rng = SimRng::new(7);
+    let trace = office_case::generate(&f4, &params, &mut rng);
+    let mut server = ProfileServer::new(arm_net::ids::ZoneId(0));
+    f4.env.seed_profiles(&mut server);
+    for ev in trace.events() {
+        match ev.from {
+            None => server.portable_entered(ev.portable, ev.to),
+            Some(from) => {
+                let prev = server.context(ev.portable).and_then(|(p, _)| p);
+                server.record_handoff(ev.portable, prev, from, ev.to, ev.time);
+            }
+        }
+    }
+
+    println!("\nlive cell profile of corridor D after the workweek:");
+    let d = server.cell(f4.d).expect("registered");
+    println!("  class: {}", d.class);
+    println!("  η(D): {:?}", d.neighbors);
+    for prev in [Some(f4.c), Some(f4.e), Some(f4.a)] {
+        let row = d.transition_row(prev);
+        if row.is_empty() {
+            continue;
+        }
+        let cells: Vec<String> = row
+            .iter()
+            .map(|(c, p)| format!("{{{}: {:.2}}}", f4.env.cell(*c).name, p))
+            .collect();
+        println!(
+            "  ⟨prev {}, {}⟩",
+            f4.env.cell(prev.expect("some")).name,
+            cells.join(", ")
+        );
+    }
+
+    println!("\nlive portable profile of the faculty member:");
+    let fac = server.portable(f4.faculty).expect("tracked");
+    println!("  history: last {} handoffs retained", fac.history_len());
+    let mut shown = 0;
+    for (prev, cur, next) in fac.triplets() {
+        let name = |c: Option<arm_net::ids::CellId>| {
+            c.map(|c| f4.env.cell(c).name.clone())
+                .unwrap_or_else(|| "-".into())
+        };
+        println!(
+            "  ⟨prev {}, cur {}, next-predicted {}⟩",
+            name(prev),
+            name(Some(cur)),
+            f4.env.cell(next).name
+        );
+        shown += 1;
+        if shown >= 8 {
+            println!("  …");
+            break;
+        }
+    }
+}

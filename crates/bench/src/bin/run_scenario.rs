@@ -1,0 +1,35 @@
+//! Run a declarative scenario file.
+//!
+//! ```text
+//! cargo run --release -p arm-bench --bin run_scenario -- --emit-sample > my.json
+//! cargo run --release -p arm-bench --bin run_scenario -- my.json
+//! ```
+
+use arm_core::scenario::{self, Scenario};
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| {
+        eprintln!("usage: run_scenario <scenario.json> | --emit-sample");
+        std::process::exit(2);
+    });
+    if arg == "--emit-sample" {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&Scenario::sample()).expect("serialises")
+        );
+        return;
+    }
+    let text = std::fs::read_to_string(&arg).unwrap_or_else(|e| {
+        eprintln!("cannot read {arg}: {e}");
+        std::process::exit(2);
+    });
+    let sc: Scenario = serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("invalid scenario: {e}");
+        std::process::exit(2);
+    });
+    let report = scenario::run(&sc);
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&report).expect("serialises")
+    );
+}

@@ -1,0 +1,57 @@
+//! # arm-bench — experiment harnesses
+//!
+//! One binary per table/figure of the paper (run with
+//! `cargo run -p arm-bench --release --bin expt_<id>`):
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `expt_table1` | Table 1 — profile contents (schema + live dump) |
+//! | `expt_table2` | Table 2 — the admission-test rows on a worked example |
+//! | `expt_fig2`   | Figure 2 — handoff activity shapes of the three lounges |
+//! | `expt_fig5`   | Figure 5 — meeting-room series + drop comparison |
+//! | `expt_fig6`   | Figure 6 — `P_d` vs `P_b` curve family over `T` |
+//! | `expt_sec71`  | §7.1 — office-case fan-out, prediction accuracy, waste |
+//! | `expt_maxmin` | Theorem 1 — distributed convergence + message counts |
+//!
+//! Criterion benchmarks (`cargo bench -p arm-bench`) measure the
+//! algorithmic kernels: admission-test throughput (WFQ vs RCSP),
+//! maxmin solving (centralized vs distributed, flooding vs refined),
+//! the probabilistic admission decision, and whole-experiment runs.
+
+/// Render a small ASCII chart of a per-slot series (one row per slot).
+pub fn ascii_series(label: &str, values: &[f64], scale: f64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{label}\n"));
+    for (i, v) in values.iter().enumerate() {
+        let bar = "#".repeat((v * scale).round() as usize);
+        out.push_str(&format!("{i:>4} | {bar} {v:.0}\n"));
+    }
+    out
+}
+
+/// Render aligned table rows: `widths[i]` columns per cell.
+pub fn table_row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ascii_series_renders() {
+        let s = super::ascii_series("x", &[0.0, 2.0, 4.0], 1.0);
+        assert!(s.contains("x\n"));
+        assert!(s.contains("   1 | ## 2"));
+        assert!(s.contains("   2 | #### 4"));
+    }
+
+    #[test]
+    fn table_row_aligns() {
+        let r = super::table_row(&["a".into(), "42".into()], &[3, 5]);
+        assert_eq!(r, "  a     42");
+    }
+}

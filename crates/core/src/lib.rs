@@ -1,0 +1,36 @@
+//! # arm-core — the integrated resource manager
+//!
+//! Composes every piece of the paper's Figure 1 into one system:
+//! admission control and conflict resolution (`arm-qos`), the
+//! static/mobile test and QoS adaptation policy, profile maintenance and
+//! three-level next-cell prediction (`arm-profiles`), per-class advance
+//! reservation with consumable claims (`arm-reservation`), and the
+//! dynamically adjustable pool `B_dyn` — all driven by mobility traces
+//! and connection workloads (`arm-mobility`) on the discrete-event kernel
+//! (`arm-sim`).
+//!
+//! * [`manager`] — [`ResourceManager`]: the per-event control plane
+//!   (connection requests, handoffs, terminations, slot ticks),
+//! * [`strategy`] — which advance-reservation scheme runs: the paper's
+//!   profile-based algorithm or one of the §7 baselines,
+//! * [`multicast`] — §4's wired-backbone multicast pre-setup toward a
+//!   mobile's neighbouring cells (failures non-fatal, per the paper),
+//! * [`metrics`] — `P_b`, `P_d`, utilisation, per-slot activity,
+//! * [`driver`] — end-to-end experiment drivers for §7.1 (office
+//!   prediction), Figure 5 (meeting room), and Figure 6 (probabilistic
+//!   default algorithm).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod manager;
+pub mod metrics;
+pub mod multicast;
+pub mod scenario;
+pub mod strategy;
+
+pub use manager::{ManagerConfig, ResourceManager};
+pub use metrics::Metrics;
+pub use scenario::{Scenario, ScenarioReport};
+pub use strategy::Strategy;

@@ -1,0 +1,872 @@
+//! The integrated resource manager (the paper's Figure 1).
+//!
+//! One [`ResourceManager`] owns the network, the zone's profile server,
+//! the per-cell class policies, and the metrics, and exposes the four
+//! control-plane entry points the simulation drivers call:
+//!
+//! * [`request_connection`](ResourceManager::request_connection) — §5.1
+//!   admission (with conflict resolution squeezing ongoing connections
+//!   within their bounds),
+//! * [`portable_moved`](ResourceManager::portable_moved) — handoff
+//!   processing: profile updates, per-connection handoff admission that
+//!   may consume advance claims (its own predicted claim, the destination
+//!   cell's aggregate claim, the source cell's departure claim, or the
+//!   `B_dyn` pool — in that order), drop accounting, and reservation
+//!   refresh,
+//! * [`terminate`](ResourceManager::terminate) — normal teardown,
+//! * [`slot_tick`](ResourceManager::slot_tick) — aggregate-policy
+//!   bookkeeping: feed the cafeteria/default predictors, refresh claims.
+//!
+//! Claims are recomputed wholesale after every event from the current
+//! state — O(cells × portables) per event, trivially fast at indoor
+//! scale and much easier to audit than incremental updates.
+
+use std::collections::BTreeMap;
+
+use arm_mobility::environment::IndoorEnvironment;
+use arm_net::flowspec::QosRequest;
+use arm_net::ids::{CellId, ConnId, LinkId, NodeId, PortableId};
+use arm_net::link::ResvClaim;
+use arm_net::routing::shortest_path;
+use arm_net::{Connection, ConnectionState, Network, Route};
+use arm_profiles::{CellClass, LoungeKind, ZonedProfiles};
+use arm_qos::adaptation::{DynPoolPolicy, StaticMobileTest};
+use arm_qos::admission::{
+    admit, AdmissionRequest, Discipline, MobilityClass, RequestKind,
+};
+use arm_reservation::cafeteria::CafeteriaPredictor;
+use arm_reservation::default_cell::OneStepMemory;
+use arm_reservation::dispatch::{decide, ReservationDecision};
+use arm_reservation::meeting::{BookingCalendar, MeetingRoomPolicy};
+use arm_sim::{SimDuration, SimTime};
+
+use crate::metrics::Metrics;
+use crate::multicast::MulticastState;
+use crate::strategy::Strategy;
+
+/// Manager configuration.
+#[derive(Clone, Debug)]
+pub struct ManagerConfig {
+    /// Reservation strategy under test.
+    pub strategy: Strategy,
+    /// Static/mobile dwell threshold `T_th`.
+    pub t_th: SimDuration,
+    /// Scheduling discipline for the Table 2 tests.
+    pub discipline: Discipline,
+    /// `B_dyn` pool policy; `None` disables the pool.
+    pub dyn_pool: Option<DynPoolPolicy>,
+    /// Slot width for the aggregate (lounge) policies and metrics series.
+    pub slot: SimDuration,
+    /// Expected bandwidth per not-yet-seen user (kbps), used to size
+    /// aggregate claims (meeting room, cafeteria, default) — the §7.1
+    /// workload mean of 28 kbps by default.
+    pub per_user_kbps: f64,
+    /// Run maxmin conflict resolution after each event (needed only when
+    /// connections have adaptable ranges; fixed-rate experiments skip it
+    /// for speed).
+    pub resolve_excess: bool,
+    /// Pre-establish §4's wired multicast branches toward a mobile's
+    /// neighbouring cells (failures non-fatal).
+    pub multicast: bool,
+    /// The eqn-2 threshold δ: an excess-bandwidth *gain* smaller than
+    /// this does not trigger an adaptation round (shrinkage always
+    /// does). Controls the frequency/benefit trade-off of adaptation.
+    pub delta: f64,
+}
+
+impl Default for ManagerConfig {
+    fn default() -> Self {
+        ManagerConfig {
+            strategy: Strategy::Paper,
+            t_th: SimDuration::from_mins(5),
+            discipline: Discipline::Wfq,
+            dyn_pool: Some(DynPoolPolicy::default()),
+            slot: SimDuration::from_mins(1),
+            per_user_kbps: 28.0,
+            resolve_excess: false,
+            multicast: true,
+            delta: 0.0,
+        }
+    }
+}
+
+/// Tracked per-portable state.
+#[derive(Clone, Copy, Debug)]
+struct PortableState {
+    cell: CellId,
+    prev_cell: Option<CellId>,
+    entered_at: SimTime,
+}
+
+/// The integrated control plane.
+pub struct ResourceManager {
+    /// The data plane (public for inspection by drivers and tests).
+    pub net: Network,
+    env: IndoorEnvironment,
+    /// The universe of zones and their profile servers (public for
+    /// prediction inspection).
+    pub profiles: ZonedProfiles,
+    cfg: ManagerConfig,
+    /// Run metrics.
+    pub metrics: Metrics,
+    portables: BTreeMap<PortableId, PortableState>,
+    meeting_policies: BTreeMap<CellId, MeetingRoomPolicy>,
+    cafeteria_pred: BTreeMap<CellId, CafeteriaPredictor>,
+    default_pred: BTreeMap<CellId, OneStepMemory>,
+    /// Handoffs out of each cell in the current slot.
+    slot_outflow: BTreeMap<CellId, u32>,
+    /// §4 multicast branches per connection (public for inspection).
+    pub multicast: MulticastState,
+    /// Per-wireless-link excess observed at the last adaptation round
+    /// (`b'_av,l(t⁻)` of eqn 2).
+    last_excess: BTreeMap<LinkId, f64>,
+    /// Adaptation rounds actually run (eqn-2 triggered).
+    pub adaptation_rounds: u64,
+    /// Connections force-dropped by channel fades (negative excess →
+    /// re-negotiation, §5.3).
+    pub channel_renegotiations: u64,
+    /// The backbone node connections terminate at.
+    server_node: NodeId,
+}
+
+impl ResourceManager {
+    /// Build the manager over an environment.
+    pub fn new(env: IndoorEnvironment, net: Network, cfg: ManagerConfig) -> Self {
+        let mut profiles = ZonedProfiles::new();
+        env.seed_zoned_profiles(&mut profiles);
+        // The backbone star's hub (node 0 by construction).
+        let server_node = NodeId(0);
+        let mut meeting_policies = BTreeMap::new();
+        let mut cafeteria_pred = BTreeMap::new();
+        let mut default_pred = BTreeMap::new();
+        for (id, info) in env.cells() {
+            match info.class {
+                CellClass::Lounge(LoungeKind::MeetingRoom) => {
+                    meeting_policies.insert(
+                        id,
+                        MeetingRoomPolicy::new(BookingCalendar::new(), cfg.per_user_kbps),
+                    );
+                }
+                CellClass::Lounge(LoungeKind::Cafeteria) => {
+                    cafeteria_pred.insert(id, CafeteriaPredictor::new());
+                }
+                CellClass::Lounge(LoungeKind::Default) => {
+                    default_pred.insert(id, OneStepMemory::new());
+                }
+                _ => {}
+            }
+        }
+        let metrics = Metrics::new(cfg.slot);
+        ResourceManager {
+            net,
+            env,
+            profiles,
+            cfg,
+            metrics,
+            portables: BTreeMap::new(),
+            meeting_policies,
+            cafeteria_pred,
+            default_pred,
+            slot_outflow: BTreeMap::new(),
+            multicast: MulticastState::new(),
+            last_excess: BTreeMap::new(),
+            adaptation_rounds: 0,
+            channel_renegotiations: 0,
+            server_node,
+        }
+    }
+
+    /// Replace a meeting room's booking calendar.
+    pub fn set_calendar(&mut self, cell: CellId, calendar: BookingCalendar) {
+        let policy = MeetingRoomPolicy::new(calendar, self.cfg.per_user_kbps);
+        self.meeting_policies.insert(cell, policy);
+    }
+
+    /// Where a portable currently is.
+    pub fn portable_cell(&self, p: PortableId) -> Option<CellId> {
+        self.portables.get(&p).map(|s| s.cell)
+    }
+
+    /// Is the portable static (dwelled ≥ `T_th`)?
+    pub fn is_static(&self, p: PortableId, now: SimTime) -> bool {
+        let test = StaticMobileTest::new(self.cfg.t_th);
+        self.portables
+            .get(&p)
+            .map(|s| test.is_static(s.entered_at, now))
+            .unwrap_or(false)
+    }
+
+    // ------------------------------------------------------------------
+    // Entry points
+    // ------------------------------------------------------------------
+
+    /// A portable appears (powers on) in a cell.
+    pub fn portable_appears(&mut self, p: PortableId, cell: CellId, now: SimTime) {
+        self.portables.insert(
+            p,
+            PortableState {
+                cell,
+                prev_cell: None,
+                entered_at: now,
+            },
+        );
+        self.profiles.portable_entered(p, cell);
+        if self.is_meeting_room(cell) {
+            if let Some(policy) = self.meeting_policies.get_mut(&cell) {
+                policy.on_arrival(now);
+            }
+        }
+        self.refresh_claims(now);
+    }
+
+    /// A new-connection request from a tracked portable (§5.1).
+    pub fn request_connection(
+        &mut self,
+        p: PortableId,
+        qos: QosRequest,
+        now: SimTime,
+    ) -> Result<ConnId, arm_qos::Rejection> {
+        let cell = self
+            .portables
+            .get(&p)
+            .expect("portable must appear before requesting connections")
+            .cell;
+        self.metrics.requests.incr();
+        let id = self.net.next_conn_id();
+        let route = self.route_for(cell);
+        self.net.install(Connection::new(
+            id,
+            p,
+            cell,
+            self.server_node,
+            qos,
+            route,
+            now,
+        ));
+        let mobility = if self.is_static(p, now) {
+            MobilityClass::Static
+        } else {
+            MobilityClass::Mobile
+        };
+        let req = AdmissionRequest {
+            conn: id,
+            discipline: self.cfg.discipline,
+            mobility,
+            kind: RequestKind::New,
+        };
+        match admit(&mut self.net, req) {
+            Ok(_) => {
+                self.sync_multicast_for(p, now);
+                self.after_event(now);
+                Ok(id)
+            }
+            Err(rej) => {
+                self.metrics.blocked.incr();
+                self.net.get_mut(id).expect("installed above").state = ConnectionState::Blocked;
+                Err(rej)
+            }
+        }
+    }
+
+    /// Application-initiated QoS re-negotiation (§4.2): "the network
+    /// essentially treats it as a new connection request" — the old
+    /// reservation is released and the connection re-admitted with the
+    /// new bounds on its current route. On rejection the old reservation
+    /// is restored and the connection continues under its previous
+    /// bounds (re-negotiation failure must not kill an ongoing
+    /// connection).
+    pub fn renegotiate(
+        &mut self,
+        id: ConnId,
+        new_qos: QosRequest,
+        now: SimTime,
+    ) -> Result<(), arm_qos::Rejection> {
+        new_qos.validate().expect("caller validates the request");
+        let (p, route, old_qos, live) = {
+            let c = self.net.get(id).expect("renegotiate on unknown connection");
+            (c.portable, c.route.clone(), c.qos, c.state.is_live())
+        };
+        assert!(live, "renegotiate on a finished connection");
+        self.metrics.requests.incr();
+        // Release the current reservation, swap in the new bounds.
+        self.net.release_route(id, &route);
+        {
+            let c = self.net.get_mut(id).expect("checked above");
+            c.qos = new_qos;
+            c.b_current = new_qos.b_min;
+        }
+        let mobility = if self.is_static(p, now) {
+            MobilityClass::Static
+        } else {
+            MobilityClass::Mobile
+        };
+        let req = AdmissionRequest {
+            conn: id,
+            discipline: self.cfg.discipline,
+            mobility,
+            kind: RequestKind::New,
+        };
+        match admit(&mut self.net, req) {
+            Ok(_) => {
+                self.sync_multicast_for(p, now);
+                self.after_event(now);
+                Ok(())
+            }
+            Err(rej) => {
+                self.metrics.blocked.incr();
+                // Restore the previous bounds; the resources were just
+                // freed, so re-admission under them cannot fail.
+                {
+                    let c = self.net.get_mut(id).expect("checked above");
+                    c.qos = old_qos;
+                    c.b_current = old_qos.b_min;
+                }
+                admit(
+                    &mut self.net,
+                    AdmissionRequest {
+                        conn: id,
+                        discipline: self.cfg.discipline,
+                        mobility,
+                        kind: RequestKind::New,
+                    },
+                )
+                .expect("restoring the previous reservation always fits");
+                self.after_event(now);
+                Err(rej)
+            }
+        }
+    }
+
+    /// Normal connection teardown.
+    pub fn terminate(&mut self, id: ConnId, now: SimTime) {
+        if self
+            .net
+            .get(id)
+            .map(|c| c.state.is_live())
+            .unwrap_or(false)
+        {
+            self.multicast.teardown(&mut self.net, id);
+            self.net.finish(id, ConnectionState::Terminated);
+            self.metrics.completed.incr();
+            self.after_event(now);
+        }
+    }
+
+    /// A tracked portable hands off `from → to`. Returns the ids of
+    /// connections dropped in the process.
+    pub fn portable_moved(&mut self, p: PortableId, to: CellId, now: SimTime) -> Vec<ConnId> {
+        let state = *self
+            .portables
+            .get(&p)
+            .expect("portable must appear before moving");
+        let from = state.cell;
+        assert_ne!(from, to, "no-op move");
+        // Profile bookkeeping.
+        self.profiles
+            .record_handoff(p, state.prev_cell, from, to, now);
+        self.metrics.record_arrival(to, now);
+        *self.slot_outflow.entry(from).or_insert(0) += 1;
+        // Meeting-room arrival/departure counters.
+        if self.is_meeting_room(to) {
+            if let Some(policy) = self.meeting_policies.get_mut(&to) {
+                policy.on_arrival(now);
+            }
+        }
+        if self.is_meeting_room(from) {
+            if let Some(policy) = self.meeting_policies.get_mut(&from) {
+                policy.on_departure(now);
+            }
+        }
+        // Move the connections.
+        let conns: Vec<ConnId> = self
+            .net
+            .connections_of_portable(p)
+            .map(|c| c.id)
+            .collect();
+        let mut dropped = Vec::new();
+        for id in conns {
+            self.metrics.handoff_attempts.incr();
+            if self.handoff_connection(id, to, now) {
+                self.metrics.handoff_successes.incr();
+            } else {
+                self.metrics.dropped.incr();
+                self.multicast.teardown(&mut self.net, id);
+                dropped.push(id);
+            }
+        }
+        // Update the portable's position and mobility clock.
+        self.portables.insert(
+            p,
+            PortableState {
+                cell: to,
+                prev_cell: Some(from),
+                entered_at: now,
+            },
+        );
+        self.sync_multicast_for(p, now);
+        self.after_event(now);
+        dropped
+    }
+
+    /// §4 multicast maintenance for one portable: a *mobile* portable's
+    /// live connections get wired branches toward the current cell's
+    /// neighbours; a static portable's branches are torn down ("no
+    /// multicast routes … corresponding to this [B_dyn] fraction").
+    fn sync_multicast_for(&mut self, p: PortableId, now: SimTime) {
+        if !self.cfg.multicast {
+            return;
+        }
+        let state = match self.portables.get(&p) {
+            Some(s) => *s,
+            None => return,
+        };
+        let conns: Vec<(ConnId, f64)> = self
+            .net
+            .connections_of_portable(p)
+            .map(|c| (c.id, c.qos.b_min))
+            .collect();
+        let mobile = !self.is_static(p, now);
+        let neighbors: Vec<CellId> = self.env.neighbors(state.cell).collect();
+        for (id, b_min) in conns {
+            if mobile {
+                self.multicast
+                    .establish(&mut self.net, id, state.cell, b_min, &neighbors);
+            } else {
+                self.multicast.teardown(&mut self.net, id);
+            }
+        }
+    }
+
+    /// Slot boundary: feed the aggregate predictors and refresh claims.
+    pub fn slot_tick(&mut self, now: SimTime) {
+        let outflow = std::mem::take(&mut self.slot_outflow);
+        for (cell, pred) in self.cafeteria_pred.iter_mut() {
+            pred.observe(f64::from(outflow.get(cell).copied().unwrap_or(0)));
+        }
+        for (cell, pred) in self.default_pred.iter_mut() {
+            pred.observe(f64::from(outflow.get(cell).copied().unwrap_or(0)));
+        }
+        // Static transitions since the last slot retire their multicast
+        // branches here (slot granularity is ample: T_th is minutes).
+        let ps: Vec<PortableId> = self.portables.keys().copied().collect();
+        for p in ps {
+            self.sync_multicast_for(p, now);
+        }
+        self.after_event(now);
+    }
+
+    /// The wireless channel of `cell` changed: its effective capacity is
+    /// now `effective_fraction` of nominal (§2.1's time-varying medium).
+    ///
+    /// The lost capacity is modelled as a [`ResvClaim::Channel`] claim.
+    /// When the loss cannot be absorbed by squeezing excess allocations
+    /// and releasing advance claims — i.e. `b'_av,l` would stay negative —
+    /// connections are told to re-negotiate and, failing that, dropped
+    /// youngest-first (§5.3: "if b'_av,l < 0, then some connections are
+    /// notified to do re-negotiation"). Returns the dropped connections.
+    pub fn channel_change(
+        &mut self,
+        cell: CellId,
+        effective_fraction: f64,
+        now: SimTime,
+    ) -> Vec<ConnId> {
+        assert!((0.0..=1.0).contains(&effective_fraction) && effective_fraction > 0.0);
+        let wl = self.net.topology().wireless_link(cell);
+        let capacity = self.net.link(wl).capacity();
+        let target_loss = capacity * (1.0 - effective_fraction);
+        // Make room for the loss claim: shed the advance claims of this
+        // link first — a faded medium cannot honour reservations anyway.
+        let mut victims = Vec::new();
+        loop {
+            let link = self.net.link(wl);
+            let other_resv = link.b_resv() - link.claim(ResvClaim::Channel);
+            let headroom = capacity - link.sum_b_min() - other_resv;
+            if target_loss <= headroom + 1e-9 {
+                break;
+            }
+            // Drop the youngest connection on the link (the model of
+            // §6.3: "the connection with a later arrival time is
+            // dropped").
+            let deficit = target_loss - headroom;
+            let mut vs = arm_qos::adaptation::renegotiation_victims(&self.net, wl, deficit);
+            if vs.is_empty() {
+                break; // only claims remain; set_claim will cap-release them
+            }
+            let v = vs.remove(0);
+            self.multicast.teardown(&mut self.net, v);
+            self.net.finish(v, ConnectionState::Dropped);
+            self.channel_renegotiations += 1;
+            victims.push(v);
+        }
+        self.net.link_mut(wl).set_claim(ResvClaim::Channel, target_loss);
+        self.after_event(now);
+        victims
+    }
+
+    // ------------------------------------------------------------------
+    // Handoff machinery
+    // ------------------------------------------------------------------
+
+    /// Move one connection into `to`; true on success. §4.3/§5.1: the
+    /// handoff may use advance-reserved resources — its own predicted
+    /// claim first, then the destination's aggregate claim, the source
+    /// cell's departure claim, and finally the `B_dyn` pool.
+    fn handoff_connection(&mut self, id: ConnId, to: CellId, now: SimTime) -> bool {
+        let (old_route, b_min, from) = {
+            let c = self.net.get(id).expect("live connection");
+            (c.route.clone(), c.qos.b_min, c.cell)
+        };
+        // The old cell's resources are released as the portable leaves it.
+        self.net.release_route(id, &old_route);
+        let new_route = self.route_for(to);
+        {
+            let c = self.net.get_mut(id).expect("live connection");
+            c.route = new_route;
+            c.cell = to;
+            c.b_current = b_min;
+        }
+        let req = AdmissionRequest {
+            conn: id,
+            discipline: self.cfg.discipline,
+            mobility: MobilityClass::Mobile,
+            kind: RequestKind::Handoff,
+        };
+        if admit(&mut self.net, req).is_ok() {
+            let c = self.net.get_mut(id).expect("live connection");
+            c.handoffs += 1;
+            return true;
+        }
+        // Draw down consumable aggregate claims, most specific first.
+        let wl = self.net.topology().wireless_link(to);
+        for key in [
+            ResvClaim::Cell(to),
+            ResvClaim::Cell(from),
+            ResvClaim::DynPool,
+        ] {
+            let available = self.net.link(wl).claim(key);
+            if available <= 0.0 {
+                continue;
+            }
+            let drawn = available.min(b_min);
+            self.net.link_mut(wl).set_claim(key, available - drawn);
+            if admit(
+                &mut self.net,
+                AdmissionRequest {
+                    conn: id,
+                    discipline: self.cfg.discipline,
+                    mobility: MobilityClass::Mobile,
+                    kind: RequestKind::Handoff,
+                },
+            )
+            .is_ok()
+            {
+                self.metrics.claims_consumed.incr();
+                let c = self.net.get_mut(id).expect("live connection");
+                c.handoffs += 1;
+                return true;
+            }
+            // Put the drawn amount back; it didn't help.
+            let cur = self.net.link(wl).claim(key);
+            self.net.link_mut(wl).set_claim(key, cur + drawn);
+        }
+        let _ = now;
+        self.net.finish(id, ConnectionState::Dropped);
+        false
+    }
+
+    /// Route from a cell's air interface to the backbone hub.
+    fn route_for(&self, cell: CellId) -> Route {
+        shortest_path(
+            self.net.topology(),
+            self.net.topology().air_node(cell),
+            self.server_node,
+        )
+        .expect("star backbone is connected")
+    }
+
+    fn is_meeting_room(&self, c: CellId) -> bool {
+        matches!(
+            self.env.cell(c).class,
+            CellClass::Lounge(LoungeKind::MeetingRoom)
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Claim refresh
+    // ------------------------------------------------------------------
+
+    fn after_event(&mut self, now: SimTime) {
+        self.refresh_claims(now);
+        if self.cfg.resolve_excess && self.adaptation_triggered() {
+            self.adaptation_rounds += 1;
+            let statics: std::collections::BTreeSet<PortableId> = self
+                .portables
+                .iter()
+                .filter(|(_, s)| {
+                    StaticMobileTest::new(self.cfg.t_th).is_static(s.entered_at, now)
+                })
+                .map(|(p, _)| *p)
+                .collect();
+            let is_static = move |p: PortableId| statics.contains(&p);
+            arm_qos::conflict::resolve_network_with_policy(&mut self.net, &is_static);
+            // Record the post-round excess as eqn 2's t⁻ state.
+            let cells: Vec<CellId> = self.env.cells().map(|(id, _)| id).collect();
+            for c in cells {
+                let wl = self.net.topology().wireless_link(c);
+                self.last_excess.insert(wl, self.net.link(wl).excess_available());
+            }
+        }
+        debug_assert!(self.net.check_invariants().is_ok());
+    }
+
+    /// The eqn-2 trigger across all wireless links: shrinkage always
+    /// fires; growth fires only when it exceeds δ and some connection on
+    /// the link could use it (`M(l) ≠ ∅`).
+    fn adaptation_triggered(&self) -> bool {
+        use arm_qos::adaptation::{decide, AdaptDecision};
+        for (cell, _) in self.env.cells() {
+            let wl = self.net.topology().wireless_link(cell);
+            let new_excess = self.net.link(wl).excess_available();
+            let prev_excess = match self.last_excess.get(&wl) {
+                Some(v) => *v,
+                None => return true, // first sight of this link
+            };
+            let shares: f64 = self
+                .net
+                .conns_on_link(wl)
+                .map(|c| (c.b_current - c.qos.b_min).max(0.0))
+                .sum();
+            let unsatisfied = self
+                .net
+                .conns_on_link(wl)
+                .any(|c| c.b_current < c.qos.b_max - 1e-9);
+            match decide(prev_excess, new_excess, shares, unsatisfied, self.cfg.delta) {
+                AdaptDecision::None => {}
+                _ => return true,
+            }
+        }
+        false
+    }
+
+    /// Recompute every advance claim from current state.
+    fn refresh_claims(&mut self, now: SimTime) {
+        // Wipe all wireless-link claims the manager owns. The Channel
+        // claim is the channel monitor's — it models capacity that does
+        // not exist right now and survives every refresh.
+        let cells: Vec<CellId> = self.env.cells().map(|(id, _)| id).collect();
+        for c in &cells {
+            let wl = self.net.topology().wireless_link(*c);
+            let keys: Vec<ResvClaim> = self
+                .net
+                .link(wl)
+                .claims()
+                .map(|(k, _)| k)
+                .filter(|k| *k != ResvClaim::Channel)
+                .collect();
+            for k in keys {
+                self.net.link_mut(wl).release_claim(k);
+            }
+        }
+        match self.cfg.strategy {
+            Strategy::None => {}
+            Strategy::Paper => self.refresh_paper(now),
+            Strategy::BruteForce => self.refresh_brute_force(),
+            Strategy::Aggregate => self.refresh_aggregate(),
+            Strategy::StaticFraction(f) => {
+                for c in &cells {
+                    let wl = self.net.topology().wireless_link(*c);
+                    let amount = self.net.link(wl).capacity() * f;
+                    self.net.link_mut(wl).set_claim(ResvClaim::Cell(*c), amount);
+                }
+            }
+        }
+    }
+
+    /// The paper's strategy: per-portable claims via the §6.4 dispatcher,
+    /// lounge aggregate claims via the class policies, plus `B_dyn`.
+    fn refresh_paper(&mut self, now: SimTime) {
+        // Per-portable claims (mobile portables only).
+        let test = StaticMobileTest::new(self.cfg.t_th);
+        let portables: Vec<(PortableId, PortableState)> =
+            self.portables.iter().map(|(p, s)| (*p, *s)).collect();
+        for (p, state) in &portables {
+            if test.is_static(state.entered_at, now) {
+                continue; // B_dyn covers sudden movement of statics
+            }
+            let floors: Vec<(ConnId, f64)> = self
+                .net
+                .connections_of_portable(*p)
+                .map(|c| (c.id, c.qos.b_min))
+                .collect();
+            if floors.is_empty() {
+                continue;
+            }
+            let class = self.env.cell(state.cell).class;
+            let is_occupant = self
+                .profiles
+                .cell(state.cell)
+                .map(|cp| cp.is_occupant(*p))
+                .unwrap_or(false);
+            let prediction = self.profiles.predict_at(*p, state.prev_cell, state.cell);
+            match decide(class, is_occupant, prediction) {
+                ReservationDecision::PerConnection(target) => {
+                    if target != state.cell {
+                        let wl = self.net.topology().wireless_link(target);
+                        for (id, b) in &floors {
+                            self.net.link_mut(wl).set_claim(ResvClaim::Conn(*id), *b);
+                        }
+                    }
+                }
+                ReservationDecision::NoReservation
+                | ReservationDecision::ClassPolicy
+                | ReservationDecision::DefaultAlgorithm => {}
+            }
+        }
+        // Lounge class policies.
+        self.refresh_lounge_claims(now);
+        // B_dyn pools.
+        if let Some(policy) = self.cfg.dyn_pool {
+            let test = StaticMobileTest::new(self.cfg.t_th);
+            let statics: std::collections::BTreeSet<PortableId> = self
+                .portables
+                .iter()
+                .filter(|(_, s)| test.is_static(s.entered_at, now))
+                .map(|(p, _)| *p)
+                .collect();
+            let cells: Vec<CellId> = self.env.cells().map(|(id, _)| id).collect();
+            for c in cells {
+                let neighbors: Vec<CellId> = self.env.neighbors(c).collect();
+                let is_static = |p: PortableId| statics.contains(&p);
+                arm_qos::adaptation::adjust_dyn_pool(
+                    &mut self.net,
+                    c,
+                    &neighbors,
+                    &is_static,
+                    policy,
+                );
+            }
+        }
+    }
+
+    /// Aggregate claims from the lounge policies (meeting calendar,
+    /// cafeteria least-squares, default one-step).
+    fn refresh_lounge_claims(&mut self, now: SimTime) {
+        // Meeting rooms.
+        let meeting_cells: Vec<CellId> = self.meeting_policies.keys().copied().collect();
+        for m in meeting_cells {
+            let (room, neighbor) = {
+                let policy = self.meeting_policies.get_mut(&m).expect("registered");
+                (policy.room_demand(now), policy.neighbor_demand(now))
+            };
+            if room > 0.0 {
+                let wl = self.net.topology().wireless_link(m);
+                self.net.link_mut(wl).set_claim(ResvClaim::Cell(m), room);
+            }
+            if neighbor > 0.0 {
+                self.spread_to_neighbors(m, neighbor);
+            }
+        }
+        // Cafeterias and default lounges: predicted outbound handoffs.
+        let caf: Vec<(CellId, f64)> = self
+            .cafeteria_pred
+            .iter()
+            .map(|(c, p)| (*c, p.predict()))
+            .collect();
+        let def: Vec<(CellId, f64)> = self
+            .default_pred
+            .iter()
+            .map(|(c, p)| (*c, p.predict()))
+            .collect();
+        for (c, predicted) in caf.into_iter().chain(def) {
+            let demand = predicted * self.cfg.per_user_kbps;
+            if demand > 0.0 {
+                self.spread_to_neighbors(c, demand);
+            }
+        }
+    }
+
+    /// Split an aggregate demand from `source` over its neighbours by the
+    /// profile transition row (even split without history), installing
+    /// `Cell(source)` claims.
+    fn spread_to_neighbors(&mut self, source: CellId, demand: f64) {
+        let neighbors: Vec<CellId> = self.env.neighbors(source).collect();
+        if neighbors.is_empty() {
+            return;
+        }
+        let row = self
+            .profiles
+            .cell(source)
+            .map(|cp| cp.aggregate_row())
+            .unwrap_or_default();
+        let known: f64 = neighbors.iter().filter_map(|n| row.get(n)).sum();
+        for n in &neighbors {
+            let share = if known > 0.0 {
+                row.get(n).copied().unwrap_or(0.0) / known
+            } else {
+                1.0 / neighbors.len() as f64
+            };
+            let amount = demand * share;
+            if amount > 0.0 {
+                let wl = self.net.topology().wireless_link(*n);
+                let cur = self.net.link(wl).claim(ResvClaim::Cell(source));
+                self.net
+                    .link_mut(wl)
+                    .set_claim(ResvClaim::Cell(source), cur + amount);
+            }
+        }
+    }
+
+    fn refresh_brute_force(&mut self) {
+        let demands = self.mobile_demands();
+        for (p, cell) in demands {
+            let floors: Vec<(ConnId, f64)> = self
+                .net
+                .connections_of_portable(p)
+                .map(|c| (c.id, c.qos.b_min))
+                .collect();
+            let neighbors: Vec<CellId> = self.env.neighbors(cell).collect();
+            for n in neighbors {
+                let wl = self.net.topology().wireless_link(n);
+                for (id, b) in &floors {
+                    self.net.link_mut(wl).set_claim(ResvClaim::Conn(*id), *b);
+                }
+            }
+        }
+    }
+
+    fn refresh_aggregate(&mut self) {
+        let demands = self.mobile_demands();
+        for (p, cell) in demands {
+            let total: f64 = self
+                .net
+                .connections_of_portable(p)
+                .map(|c| c.qos.b_min)
+                .sum();
+            if total > 0.0 {
+                self.spread_to_neighbors(cell, total);
+            }
+        }
+    }
+
+    /// Every portable with live connections and its cell (the baselines
+    /// reserve for all of them, making no static/mobile distinction —
+    /// which is exactly their weakness). Ordered by when each portable
+    /// entered its current cell: reservations are first-come-first-served,
+    /// so when a link's claim headroom runs out, the latest movers lose —
+    /// exactly the race that drops late classroom arrivals under the
+    /// brute-force scheme.
+    fn mobile_demands(&self) -> Vec<(PortableId, CellId)> {
+        let mut v: Vec<(SimTime, PortableId, CellId)> = self
+            .portables
+            .iter()
+            .filter(|(p, _)| self.net.connections_of_portable(**p).next().is_some())
+            .map(|(p, s)| (s.entered_at, *p, s.cell))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        v.into_iter().map(|(_, p, c)| (p, c)).collect()
+    }
+}
+
+#[cfg(test)]
+#[path = "manager_tests.rs"]
+mod tests;

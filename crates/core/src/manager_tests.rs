@@ -1,0 +1,527 @@
+//! Unit tests for the integrated manager.
+
+use arm_mobility::environment::{Figure4, IndoorEnvironment};
+use arm_net::flowspec::QosRequest;
+use arm_net::ids::PortableId;
+use arm_net::link::ResvClaim;
+use arm_profiles::{CellClass, LoungeKind};
+use arm_reservation::meeting::{BookingCalendar, Meeting};
+use arm_sim::{SimDuration, SimTime};
+
+use super::*;
+
+fn qos(kbps: f64) -> QosRequest {
+    QosRequest::fixed(kbps)
+        .with_delay(30.0)
+        .with_jitter(30.0)
+        .with_loss(1.0)
+}
+
+fn figure4_manager(strategy: Strategy) -> (ResourceManager, Figure4) {
+    let f4 = Figure4::build();
+    let net = f4.env.build_network(1600.0, 0.0, 100_000.0);
+    let cfg = ManagerConfig {
+        strategy,
+        ..Default::default()
+    };
+    (ResourceManager::new(f4.env.clone(), net, cfg), f4)
+}
+
+#[test]
+fn connection_lifecycle() {
+    let (mut mgr, f4) = figure4_manager(Strategy::None);
+    let p = PortableId(50);
+    mgr.portable_appears(p, f4.c, SimTime::ZERO);
+    let id = mgr
+        .request_connection(p, qos(64.0), SimTime::from_secs(1))
+        .expect("admits");
+    assert_eq!(mgr.metrics.requests.get(), 1);
+    let wl = mgr.net.topology().wireless_link(f4.c);
+    assert_eq!(mgr.net.link(wl).sum_b_min(), 64.0);
+    mgr.terminate(id, SimTime::from_secs(100));
+    assert_eq!(mgr.metrics.completed.get(), 1);
+    assert_eq!(mgr.net.link(wl).sum_b_min(), 0.0);
+    assert!(mgr.net.check_invariants().is_ok());
+}
+
+#[test]
+fn blocking_when_cell_full() {
+    let (mut mgr, f4) = figure4_manager(Strategy::None);
+    let mut admitted = 0;
+    for i in 0..30 {
+        let p = PortableId(100 + i);
+        mgr.portable_appears(p, f4.c, SimTime::ZERO);
+        if mgr
+            .request_connection(p, qos(64.0), SimTime::from_secs(1))
+            .is_ok()
+        {
+            admitted += 1;
+        }
+    }
+    // 1600 / 64 = 25 connections fit.
+    assert_eq!(admitted, 25);
+    assert_eq!(mgr.metrics.blocked.get(), 5);
+    assert!((mgr.metrics.p_b() - 5.0 / 30.0).abs() < 1e-12);
+}
+
+#[test]
+fn handoff_moves_resources_between_cells() {
+    let (mut mgr, f4) = figure4_manager(Strategy::None);
+    let p = PortableId(50);
+    mgr.portable_appears(p, f4.c, SimTime::ZERO);
+    mgr.request_connection(p, qos(64.0), SimTime::from_secs(1))
+        .unwrap();
+    let dropped = mgr.portable_moved(p, f4.d, SimTime::from_secs(10));
+    assert!(dropped.is_empty());
+    let wl_c = mgr.net.topology().wireless_link(f4.c);
+    let wl_d = mgr.net.topology().wireless_link(f4.d);
+    assert_eq!(mgr.net.link(wl_c).sum_b_min(), 0.0);
+    assert_eq!(mgr.net.link(wl_d).sum_b_min(), 64.0);
+    assert_eq!(mgr.metrics.handoff_attempts.get(), 1);
+    assert_eq!(mgr.metrics.handoff_successes.get(), 1);
+    assert_eq!(mgr.portable_cell(p), Some(f4.d));
+}
+
+#[test]
+fn handoff_drops_when_target_is_full() {
+    let (mut mgr, f4) = figure4_manager(Strategy::None);
+    // Fill D with static occupants.
+    for i in 0..25 {
+        let p = PortableId(200 + i);
+        mgr.portable_appears(p, f4.d, SimTime::ZERO);
+        mgr.request_connection(p, qos(64.0), SimTime::ZERO).unwrap();
+    }
+    let p = PortableId(50);
+    mgr.portable_appears(p, f4.c, SimTime::ZERO);
+    let id = mgr.request_connection(p, qos(64.0), SimTime::ZERO).unwrap();
+    let dropped = mgr.portable_moved(p, f4.d, SimTime::from_secs(10));
+    assert_eq!(dropped, vec![id]);
+    assert_eq!(mgr.metrics.dropped.get(), 1);
+    assert!((mgr.metrics.p_d() - 1.0).abs() < 1e-12);
+    assert_eq!(
+        mgr.net.get(id).unwrap().state,
+        arm_net::ConnectionState::Dropped
+    );
+    assert!(mgr.net.check_invariants().is_ok());
+}
+
+#[test]
+fn brute_force_reserves_in_all_neighbors() {
+    let (mut mgr, f4) = figure4_manager(Strategy::BruteForce);
+    let p = PortableId(50);
+    mgr.portable_appears(p, f4.d, SimTime::ZERO);
+    mgr.request_connection(p, qos(64.0), SimTime::ZERO).unwrap();
+    // D's neighbours: C, E, A.
+    for n in [f4.c, f4.e, f4.a] {
+        let wl = mgr.net.topology().wireless_link(n);
+        assert!(
+            mgr.net.link(wl).b_resv() >= 64.0 - 1e-9,
+            "no reservation in {n:?}"
+        );
+    }
+    // Not in non-neighbours.
+    let wl_g = mgr.net.topology().wireless_link(f4.g);
+    assert_eq!(mgr.net.link(wl_g).b_resv(), 0.0);
+}
+
+#[test]
+fn paper_strategy_reserves_in_predicted_cell_only() {
+    let (mut mgr, f4) = figure4_manager(Strategy::Paper);
+    let p = PortableId(50);
+    // Teach the profile: this user goes C → D → A.
+    mgr.portable_appears(p, f4.c, SimTime::ZERO);
+    for k in 0..4 {
+        let t0 = SimTime::from_secs(600 * k + 10);
+        mgr.portable_moved(p, f4.d, t0);
+        mgr.portable_moved(p, f4.a, t0 + SimDuration::from_secs(30));
+        mgr.portable_moved(p, f4.d, t0 + SimDuration::from_secs(300));
+        mgr.portable_moved(p, f4.c, t0 + SimDuration::from_secs(330));
+    }
+    // Now the user is in C with a connection, having come from D.
+    let id = mgr
+        .request_connection(p, qos(64.0), SimTime::from_secs(3000))
+        .unwrap();
+    // Move to D (mobile, just moved): prediction (C→D context) says A.
+    mgr.portable_moved(p, f4.d, SimTime::from_secs(3001));
+    let wl_a = mgr.net.topology().wireless_link(f4.a);
+    assert!(
+        mgr.net.link(wl_a).claim(ResvClaim::Conn(id)) >= 64.0 - 1e-9,
+        "claim in predicted office A"
+    );
+    // And nowhere else.
+    for other in [f4.b, f4.e, f4.f, f4.g, f4.c] {
+        let wl = mgr.net.topology().wireless_link(other);
+        assert_eq!(mgr.net.link(wl).claim(ResvClaim::Conn(id)), 0.0, "{other:?}");
+    }
+    // The predicted handoff then consumes its claim.
+    let dropped = mgr.portable_moved(p, f4.a, SimTime::from_secs(3030));
+    assert!(dropped.is_empty());
+    assert_eq!(mgr.net.link(wl_a).sum_b_min(), 64.0);
+}
+
+#[test]
+fn static_portables_make_no_per_connection_claims() {
+    let (mut mgr, f4) = figure4_manager(Strategy::Paper);
+    let p = PortableId(50);
+    mgr.portable_appears(p, f4.a, SimTime::ZERO);
+    // Wait beyond T_th before connecting: the portable is static.
+    let now = SimTime::from_mins(10);
+    let id = mgr.request_connection(p, qos(64.0), now).unwrap();
+    assert!(mgr.is_static(p, now));
+    for (cell, _) in f4.env.cells() {
+        let wl = mgr.net.topology().wireless_link(cell);
+        assert_eq!(mgr.net.link(wl).claim(ResvClaim::Conn(id)), 0.0);
+    }
+    // But neighbours of A hold a B_dyn pool sized at least at the
+    // static's allocation (clamped to the 5–20% band).
+    let wl_d = mgr.net.topology().wireless_link(f4.d);
+    assert!(mgr.net.link(wl_d).claim(ResvClaim::DynPool) >= 80.0 - 1e-9);
+}
+
+#[test]
+fn meeting_calendar_drives_room_claims() {
+    let mut env = IndoorEnvironment::new();
+    let x = env.add_cell("X", CellClass::Corridor);
+    let m = env.add_cell("M", CellClass::Lounge(LoungeKind::MeetingRoom));
+    env.connect(x, m);
+    let net = env.build_network(1600.0, 0.0, 100_000.0);
+    let mut mgr = ResourceManager::new(env, net, ManagerConfig::default());
+    let mut cal = BookingCalendar::new();
+    cal.book(Meeting {
+        t_start: SimTime::from_mins(60),
+        t_end: SimTime::from_mins(110),
+        expected: 20,
+    });
+    mgr.set_calendar(m, cal);
+    // Before the window: no claim.
+    mgr.slot_tick(SimTime::from_mins(40));
+    let wl_m = mgr.net.topology().wireless_link(m);
+    assert_eq!(mgr.net.link(wl_m).claim(ResvClaim::Cell(m)), 0.0);
+    // In the window: 20 × 28 kbps.
+    mgr.slot_tick(SimTime::from_mins(52));
+    assert!((mgr.net.link(wl_m).claim(ResvClaim::Cell(m)) - 560.0).abs() < 1e-9);
+    // An attendee arrives: the claim shrinks and the handoff uses it.
+    let p = PortableId(77);
+    mgr.portable_appears(p, x, SimTime::from_mins(53));
+    mgr.request_connection(p, qos(64.0), SimTime::from_mins(53))
+        .unwrap();
+    let dropped = mgr.portable_moved(p, m, SimTime::from_mins(54));
+    assert!(dropped.is_empty());
+    assert!((mgr.net.link(wl_m).claim(ResvClaim::Cell(m)) - 19.0 * 28.0).abs() < 1e-9);
+}
+
+#[test]
+fn static_fraction_strategy_pins_claims() {
+    let (mut mgr, f4) = figure4_manager(Strategy::StaticFraction(0.25));
+    mgr.slot_tick(SimTime::from_secs(1));
+    for (cell, _) in f4.env.cells() {
+        let wl = mgr.net.topology().wireless_link(cell);
+        assert!((mgr.net.link(wl).claim(ResvClaim::Cell(cell)) - 400.0).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn aggregate_strategy_spreads_by_history() {
+    let (mut mgr, f4) = figure4_manager(Strategy::Aggregate);
+    // Build history: traffic out of D goes 80% to E, 20% to A.
+    for i in 0..10 {
+        let p = PortableId(300 + i);
+        mgr.portable_appears(p, f4.c, SimTime::ZERO);
+        mgr.portable_moved(p, f4.d, SimTime::from_secs(10 + i as u64));
+        let dest = if i < 8 { f4.e } else { f4.a };
+        mgr.portable_moved(p, dest, SimTime::from_secs(100 + i as u64));
+    }
+    // A new mobile with a 100 kbps connection sits in D.
+    let p = PortableId(400);
+    mgr.portable_appears(p, f4.c, SimTime::from_secs(200));
+    mgr.request_connection(p, qos(100.0), SimTime::from_secs(201))
+        .unwrap();
+    mgr.portable_moved(p, f4.d, SimTime::from_secs(202));
+    let wl_e = mgr.net.topology().wireless_link(f4.e);
+    let wl_a = mgr.net.topology().wireless_link(f4.a);
+    let claim_e = mgr.net.link(wl_e).claim(ResvClaim::Cell(f4.d));
+    let claim_a = mgr.net.link(wl_a).claim(ResvClaim::Cell(f4.d));
+    assert!(claim_e > claim_a, "E ({claim_e}) should outweigh A ({claim_a})");
+    assert!(claim_e + claim_a > 0.0);
+}
+
+#[test]
+fn dyn_pool_rescues_sudden_static_movement() {
+    let (mut mgr, f4) = figure4_manager(Strategy::Paper);
+    // A static portable in A with a fat connection.
+    let p = PortableId(50);
+    mgr.portable_appears(p, f4.a, SimTime::ZERO);
+    let now = SimTime::from_mins(10);
+    let id = mgr.request_connection(p, qos(300.0), now).unwrap();
+    // Fill D almost completely with other users so only the pool is left.
+    let mut t = now;
+    for i in 0..10 {
+        let q = PortableId(600 + i);
+        mgr.portable_appears(q, f4.d, SimTime::ZERO);
+        t += SimDuration::from_secs(1);
+        mgr.request_connection(q, qos(128.0), t).unwrap();
+    }
+    let wl_d = mgr.net.topology().wireless_link(f4.d);
+    // 10×128 = 1280 used of 1600; pool covers the 300 kbps static.
+    let pool = mgr.net.link(wl_d).claim(ResvClaim::DynPool);
+    assert!(pool >= 300.0 - 1e-9, "pool={pool}");
+    // The static suddenly moves: no per-conn claim exists, but the pool
+    // absorbs the handoff.
+    let dropped = mgr.portable_moved(p, f4.d, t + SimDuration::from_secs(1));
+    assert!(dropped.is_empty(), "B_dyn should rescue the handoff");
+    assert_eq!(mgr.metrics.claims_consumed.get(), 1);
+    assert!(mgr.net.get(id).unwrap().state.is_live());
+}
+
+#[test]
+fn slot_tick_feeds_lounge_predictors() {
+    let mut env = IndoorEnvironment::new();
+    let x = env.add_cell("X", CellClass::Corridor);
+    let d = env.add_cell("D", CellClass::Lounge(LoungeKind::Default));
+    env.connect(x, d);
+    let net = env.build_network(1600.0, 0.0, 100_000.0);
+    let mut mgr = ResourceManager::new(env, net, ManagerConfig::default());
+    // Three portables leave the default lounge this slot.
+    for i in 0..3 {
+        let p = PortableId(700 + i);
+        mgr.portable_appears(p, d, SimTime::ZERO);
+        mgr.portable_moved(p, x, SimTime::from_secs(10 + i as u64));
+    }
+    mgr.slot_tick(SimTime::from_mins(1));
+    // One-step memory: predict 3 leavers next slot → claim 3×28 kbps in
+    // the neighbour X under the lounge's key.
+    let wl_x = mgr.net.topology().wireless_link(x);
+    assert!((mgr.net.link(wl_x).claim(ResvClaim::Cell(d)) - 84.0).abs() < 1e-9);
+}
+
+#[test]
+fn multicast_branches_follow_the_mobile() {
+    let (mut mgr, f4) = figure4_manager(Strategy::Paper);
+    let p = PortableId(50);
+    mgr.portable_appears(p, f4.c, SimTime::ZERO);
+    let id = mgr.request_connection(p, qos(64.0), SimTime::from_secs(1)).unwrap();
+    // Mobile in C: branches toward C's neighbours (just D).
+    assert_eq!(mgr.multicast.branches_of(id), vec![f4.d]);
+    mgr.portable_moved(p, f4.d, SimTime::from_secs(10));
+    let mut branches = mgr.multicast.branches_of(id);
+    branches.sort();
+    assert_eq!(branches, vec![f4.a, f4.c, f4.e]);
+    // Terminating tears everything down.
+    mgr.terminate(id, SimTime::from_secs(20));
+    assert!(mgr.multicast.branches_of(id).is_empty());
+    assert!(mgr.net.check_invariants().is_ok());
+}
+
+#[test]
+fn static_portables_lose_their_multicast_branches() {
+    let (mut mgr, f4) = figure4_manager(Strategy::Paper);
+    let p = PortableId(50);
+    mgr.portable_appears(p, f4.c, SimTime::ZERO);
+    let id = mgr.request_connection(p, qos(64.0), SimTime::from_secs(1)).unwrap();
+    assert!(!mgr.multicast.branches_of(id).is_empty());
+    // After T_th the portable is static; the slot tick retires branches.
+    mgr.slot_tick(SimTime::from_mins(10));
+    assert!(mgr.multicast.branches_of(id).is_empty());
+}
+
+#[test]
+fn renegotiation_upgrades_and_restores_on_failure() {
+    let (mut mgr, f4) = figure4_manager(Strategy::None);
+    let p = PortableId(50);
+    mgr.portable_appears(p, f4.c, SimTime::ZERO);
+    let id = mgr.request_connection(p, qos(64.0), SimTime::from_secs(1)).unwrap();
+    // Upgrade to 512 kbps: fits, new floor reserved.
+    mgr.renegotiate(id, qos(512.0), SimTime::from_secs(2)).unwrap();
+    let wl = mgr.net.topology().wireless_link(f4.c);
+    assert_eq!(mgr.net.link(wl).sum_b_min(), 512.0);
+    assert_eq!(mgr.net.get(id).unwrap().qos.b_min, 512.0);
+    // A second user fills most of the rest.
+    let q = PortableId(51);
+    mgr.portable_appears(q, f4.c, SimTime::ZERO);
+    mgr.request_connection(q, qos(1000.0), SimTime::from_secs(3)).unwrap();
+    // Upgrading beyond capacity fails but the connection survives under
+    // its previous bounds.
+    let err = mgr.renegotiate(id, qos(1500.0), SimTime::from_secs(4));
+    assert!(err.is_err());
+    let c = mgr.net.get(id).unwrap();
+    assert!(c.state.is_live());
+    assert_eq!(c.qos.b_min, 512.0);
+    assert_eq!(mgr.net.link(wl).sum_b_min(), 1512.0);
+    assert!(mgr.net.check_invariants().is_ok());
+}
+
+#[test]
+fn renegotiation_downgrade_frees_capacity() {
+    let (mut mgr, f4) = figure4_manager(Strategy::None);
+    let p = PortableId(50);
+    mgr.portable_appears(p, f4.c, SimTime::ZERO);
+    let id = mgr.request_connection(p, qos(1000.0), SimTime::from_secs(1)).unwrap();
+    mgr.renegotiate(id, qos(100.0), SimTime::from_secs(2)).unwrap();
+    let wl = mgr.net.topology().wireless_link(f4.c);
+    assert_eq!(mgr.net.link(wl).sum_b_min(), 100.0);
+    // The freed capacity admits a new large connection.
+    let q = PortableId(51);
+    mgr.portable_appears(q, f4.c, SimTime::ZERO);
+    assert!(mgr.request_connection(q, qos(1400.0), SimTime::from_secs(3)).is_ok());
+}
+
+#[test]
+fn channel_fade_squeezes_then_recovers() {
+    let (mgr, f4) = figure4_manager(Strategy::None);
+    // Two adaptive connections sharing C's 1600 kbps medium.
+    let adaptive = QosRequest::bandwidth(200.0, 1600.0)
+        .with_delay(10.0)
+        .with_jitter(10.0)
+        .with_loss(1.0);
+    let mut cfg_mgr = {
+        let net = f4.env.build_network(1600.0, 0.0, 100_000.0);
+        let cfg = ManagerConfig {
+            strategy: Strategy::None,
+            resolve_excess: true,
+            dyn_pool: None,
+            t_th: SimDuration::from_secs(0),
+            ..Default::default()
+        };
+        ResourceManager::new(f4.env.clone(), net, cfg)
+    };
+    drop(mgr);
+    let mgr = &mut cfg_mgr;
+    for i in 0..2 {
+        let p = PortableId(60 + i);
+        mgr.portable_appears(p, f4.c, SimTime::ZERO);
+        mgr.request_connection(p, adaptive, SimTime::from_secs(1 + u64::from(i)))
+            .unwrap();
+    }
+    let ids: Vec<_> = mgr.net.live_connections().map(|c| c.id).collect();
+    // Fully adapted up: 800 each.
+    for id in &ids {
+        assert!((mgr.net.get(*id).unwrap().b_current - 800.0).abs() < 1e-6);
+    }
+    // The medium fades to 40%: 640 kbps effective. Floors (400) still
+    // fit, so nobody is dropped, but allocations shrink to 320 each.
+    let victims = mgr.channel_change(f4.c, 0.4, SimTime::from_secs(10));
+    assert!(victims.is_empty());
+    for id in &ids {
+        assert!(
+            (mgr.net.get(*id).unwrap().b_current - 320.0).abs() < 1e-6,
+            "rate {}",
+            mgr.net.get(*id).unwrap().b_current
+        );
+    }
+    // Recovery restores the full shares.
+    mgr.channel_change(f4.c, 1.0, SimTime::from_secs(60));
+    for id in &ids {
+        assert!((mgr.net.get(*id).unwrap().b_current - 800.0).abs() < 1e-6);
+    }
+    assert!(mgr.net.check_invariants().is_ok());
+    assert_eq!(mgr.channel_renegotiations, 0);
+}
+
+#[test]
+fn deep_fade_drops_youngest_first() {
+    let f4 = Figure4::build();
+    let net = f4.env.build_network(1600.0, 0.0, 100_000.0);
+    let cfg = ManagerConfig {
+        strategy: Strategy::None,
+        resolve_excess: true,
+        dyn_pool: None,
+        t_th: SimDuration::from_secs(0),
+        ..Default::default()
+    };
+    let mut mgr = ResourceManager::new(f4.env.clone(), net, cfg);
+    let mut ids = Vec::new();
+    for i in 0..3 {
+        let p = PortableId(70 + i);
+        mgr.portable_appears(p, f4.c, SimTime::ZERO);
+        ids.push(
+            mgr.request_connection(p, qos(500.0), SimTime::from_secs(1 + u64::from(i)))
+                .unwrap(),
+        );
+    }
+    // Fade to 40%: 640 effective < 1500 of floors — two must go, and it
+    // is the two youngest (latest arrivals).
+    let victims = mgr.channel_change(f4.c, 0.4, SimTime::from_secs(10));
+    assert_eq!(victims, vec![ids[2], ids[1]]);
+    assert_eq!(mgr.channel_renegotiations, 2);
+    assert!(mgr.net.get(ids[0]).unwrap().state.is_live());
+    assert!(mgr.net.check_invariants().is_ok());
+    // New admissions respect the faded capacity.
+    let p = PortableId(80);
+    mgr.portable_appears(p, f4.c, SimTime::ZERO);
+    assert!(mgr
+        .request_connection(p, qos(500.0), SimTime::from_secs(11))
+        .is_err());
+    assert!(mgr
+        .request_connection(p, qos(100.0), SimTime::from_secs(12))
+        .is_ok());
+}
+
+#[test]
+fn delta_throttles_adaptation_rounds() {
+    // Same fade schedule; a large δ runs fewer adaptation rounds.
+    let run = |delta: f64| -> u64 {
+        let f4 = Figure4::build();
+        let net = f4.env.build_network(1600.0, 0.0, 100_000.0);
+        let cfg = ManagerConfig {
+            strategy: Strategy::None,
+            resolve_excess: true,
+            dyn_pool: None,
+            t_th: SimDuration::from_secs(0),
+            delta,
+            ..Default::default()
+        };
+        let mut mgr = ResourceManager::new(f4.env.clone(), net, cfg);
+        let p = PortableId(1);
+        mgr.portable_appears(p, f4.c, SimTime::ZERO);
+        let adaptive = QosRequest::bandwidth(100.0, 1600.0)
+            .with_delay(10.0)
+            .with_jitter(10.0)
+            .with_loss(1.0);
+        mgr.request_connection(p, adaptive, SimTime::from_secs(1)).unwrap();
+        // A sequence of tiny capacity wobbles (fades of 2%).
+        for k in 0..20u64 {
+            let f = if k % 2 == 0 { 0.98 } else { 1.0 };
+            mgr.channel_change(f4.c, f, SimTime::from_secs(10 + k));
+        }
+        mgr.adaptation_rounds
+    };
+    let eager = run(0.0);
+    let throttled = run(100.0);
+    assert!(
+        throttled < eager,
+        "δ=100 ({throttled}) should run fewer rounds than δ=0 ({eager})"
+    );
+}
+
+#[test]
+fn cross_zone_handoff_transfers_the_profile() {
+    use arm_net::ids::ZoneId;
+    // Figure 4 split into two zones: {A, C, D} west, {B, E, F, G} east.
+    let mut f4 = Figure4::build();
+    for cell in [f4.b, f4.e, f4.f, f4.g] {
+        f4.env.set_zone(cell, ZoneId(1));
+    }
+    let net = f4.env.build_network(1600.0, 0.0, 100_000.0);
+    let mut mgr = ResourceManager::new(f4.env.clone(), net, ManagerConfig::default());
+    let p = PortableId(50);
+    mgr.portable_appears(p, f4.c, SimTime::ZERO);
+    mgr.request_connection(p, qos(64.0), SimTime::from_secs(1)).unwrap();
+    // Build a habit entirely in the west zone: C → D → C…
+    for k in 0..3u64 {
+        mgr.portable_moved(p, f4.d, SimTime::from_secs(10 + 20 * k));
+        mgr.portable_moved(p, f4.c, SimTime::from_secs(20 + 20 * k));
+    }
+    // Cross the boundary: D → E.
+    mgr.portable_moved(p, f4.d, SimTime::from_secs(100));
+    let dropped = mgr.portable_moved(p, f4.e, SimTime::from_secs(110));
+    assert!(dropped.is_empty());
+    assert_eq!(mgr.profiles.transfers, 1, "profile handed over once");
+    // The east zone now holds the portable's profile with its history.
+    let east = mgr.profiles.server(ZoneId(1)).expect("zone 1 exists");
+    assert!(east.portable(p).is_some());
+    assert!(mgr.profiles.server(ZoneId(0)).unwrap().portable(p).is_none());
+    // Moving back transfers again.
+    mgr.portable_moved(p, f4.d, SimTime::from_secs(120));
+    assert_eq!(mgr.profiles.transfers, 2);
+    assert!(mgr.net.check_invariants().is_ok());
+}

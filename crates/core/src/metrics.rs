@@ -1,0 +1,99 @@
+//! Run metrics: the quantities the paper reports.
+
+use arm_net::ids::CellId;
+use arm_sim::stats::{Counter, TimeSeries};
+use arm_sim::{SimDuration, SimTime};
+
+/// Counters and series collected over one simulation run.
+#[derive(Debug)]
+pub struct Metrics {
+    /// New-connection requests offered.
+    pub requests: Counter,
+    /// New-connection requests rejected (`P_b` numerator).
+    pub blocked: Counter,
+    /// Connections that completed normally.
+    pub completed: Counter,
+    /// Handoff attempts (one per live connection per cell change).
+    pub handoff_attempts: Counter,
+    /// Handoffs that found resources (possibly via a claim or pool).
+    pub handoff_successes: Counter,
+    /// Connections dropped mid-life because a handoff failed (`P_d`
+    /// numerator).
+    pub dropped: Counter,
+    /// Handoffs satisfied by consuming an advance claim or pool rather
+    /// than free capacity.
+    pub claims_consumed: Counter,
+    /// Handoff arrivals per cell per slot (the Figure 2/5 series).
+    arrivals: std::collections::BTreeMap<CellId, TimeSeries>,
+    slot: SimDuration,
+}
+
+impl Metrics {
+    /// Fresh metrics with the given series slot width.
+    pub fn new(slot: SimDuration) -> Self {
+        Metrics {
+            requests: Counter::new(),
+            blocked: Counter::new(),
+            completed: Counter::new(),
+            handoff_attempts: Counter::new(),
+            handoff_successes: Counter::new(),
+            dropped: Counter::new(),
+            claims_consumed: Counter::new(),
+            arrivals: Default::default(),
+            slot,
+        }
+    }
+
+    /// New-connection blocking probability `P_b`.
+    pub fn p_b(&self) -> f64 {
+        self.blocked.ratio_of(&self.requests)
+    }
+
+    /// Handoff dropping probability `P_d` — the fraction of handoff
+    /// attempts that killed their connection.
+    pub fn p_d(&self) -> f64 {
+        self.dropped.ratio_of(&self.handoff_attempts)
+    }
+
+    /// Record a handoff arrival into `cell` for the activity series.
+    pub fn record_arrival(&mut self, cell: CellId, at: SimTime) {
+        self.arrivals
+            .entry(cell)
+            .or_insert_with(|| TimeSeries::new(self.slot))
+            .incr(at);
+    }
+
+    /// The arrival series of one cell, if any arrivals were recorded.
+    pub fn arrivals(&self, cell: CellId) -> Option<&TimeSeries> {
+        self.arrivals.get(&cell)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probabilities() {
+        let mut m = Metrics::new(SimDuration::from_mins(1));
+        m.requests.add(10);
+        m.blocked.add(2);
+        m.handoff_attempts.add(50);
+        m.dropped.add(5);
+        assert!((m.p_b() - 0.2).abs() < 1e-12);
+        assert!((m.p_d() - 0.1).abs() < 1e-12);
+        // Empty metrics report zero, not NaN.
+        let empty = Metrics::new(SimDuration::from_mins(1));
+        assert_eq!(empty.p_b(), 0.0);
+        assert_eq!(empty.p_d(), 0.0);
+    }
+
+    #[test]
+    fn arrival_series_per_cell() {
+        let mut m = Metrics::new(SimDuration::from_mins(1));
+        m.record_arrival(CellId(3), SimTime::from_secs(30));
+        m.record_arrival(CellId(3), SimTime::from_secs(90));
+        assert_eq!(m.arrivals(CellId(3)).unwrap().values(), &[1.0, 1.0]);
+        assert!(m.arrivals(CellId(9)).is_none());
+    }
+}

@@ -1,0 +1,348 @@
+//! Declarative scenarios: a JSON-serialisable description of an
+//! environment, a mobility pattern, a workload, and a manager
+//! configuration, plus a one-call runner.
+//!
+//! This is the downstream-user entry point: describe an experiment in a
+//! file, run it with `cargo run -p arm-bench --bin run_scenario -- my.json`,
+//! get the paper's metrics back. Every example and experiment in this
+//! repository can be expressed as a [`Scenario`].
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use arm_mobility::environment::{office_wing, Figure4, IndoorEnvironment};
+use arm_mobility::models::meeting::{self, MeetingEnv, MeetingParams};
+use arm_mobility::models::office_case::{self, OfficeCaseParams};
+use arm_mobility::models::random_walk::{self, RandomWalkParams};
+use arm_mobility::{MobilityTrace, WorkloadMix};
+use arm_net::ids::{ConnId, PortableId};
+use arm_sim::{SimDuration, SimRng, SimTime};
+
+use crate::manager::{ManagerConfig, ResourceManager};
+use crate::strategy::Strategy;
+
+/// Which floor plan to build.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub enum EnvSpec {
+    /// The paper's Figure 4 plan (offices A/B, corridors C–G).
+    Figure4,
+    /// A parametric office wing with `offices` offices plus a meeting
+    /// room, cafeteria and default lounge.
+    OfficeWing {
+        /// Number of offices (and corridor segments).
+        offices: usize,
+    },
+    /// The Figure 5 meeting scenario plan (corridor W–X–Y, classroom M).
+    Meeting,
+}
+
+/// Which mobility generator to run.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub enum MobilitySpec {
+    /// Memoryless wandering.
+    RandomWalk {
+        /// Wanderer count.
+        population: usize,
+        /// Mean per-cell dwell, seconds.
+        mean_dwell_secs: u64,
+        /// Simulated span, minutes.
+        span_mins: u64,
+    },
+    /// The §7.1 workweek on Figure 4 (requires `EnvSpec::Figure4`).
+    OfficeCase,
+    /// The Figure 5 meeting (requires `EnvSpec::Meeting`).
+    Meeting {
+        /// Attendance.
+        attendees: usize,
+    },
+}
+
+/// Which per-user workload to attach.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub enum WorkloadSpec {
+    /// The §7.1 mix: 16 kbps (75%) / 64 kbps (25%), one per user.
+    Paper71,
+    /// One fixed-rate connection per user.
+    Fixed {
+        /// Rate in kbps.
+        kbps: f64,
+    },
+    /// No connections (mobility/prediction only).
+    None,
+}
+
+/// A complete experiment description.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Report label.
+    pub name: String,
+    /// Floor plan.
+    pub environment: EnvSpec,
+    /// Movement pattern.
+    pub mobility: MobilitySpec,
+    /// Per-user connections.
+    pub workload: WorkloadSpec,
+    /// Advance-reservation strategy under test.
+    pub strategy: Strategy,
+    /// Shared-medium capacity per cell (kbps).
+    pub cell_throughput_kbps: f64,
+    /// Wired backbone capacity (kbps).
+    pub backbone_kbps: f64,
+    /// Wireless per-hop packet error probability.
+    pub wireless_error: f64,
+    /// Static/mobile threshold `T_th` (seconds).
+    pub t_th_secs: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// A ready-to-edit sample (the Figure 5 lecture).
+    pub fn sample() -> Self {
+        Scenario {
+            name: "lecture-of-35".into(),
+            environment: EnvSpec::Meeting,
+            mobility: MobilitySpec::Meeting { attendees: 35 },
+            workload: WorkloadSpec::Paper71,
+            strategy: Strategy::Paper,
+            cell_throughput_kbps: 1600.0,
+            backbone_kbps: 100_000.0,
+            wireless_error: 0.0,
+            t_th_secs: 300,
+            seed: 42,
+        }
+    }
+}
+
+/// What a run produced.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    /// Scenario label.
+    pub name: String,
+    /// Strategy label.
+    pub strategy: String,
+    /// Connections requested.
+    pub requests: u64,
+    /// Requests blocked (`P_b` numerator).
+    pub blocked: u64,
+    /// Handoff attempts.
+    pub handoff_attempts: u64,
+    /// Connections dropped mid-life (`P_d` numerator).
+    pub dropped: u64,
+    /// Blocking probability.
+    pub p_b: f64,
+    /// Handoff dropping probability.
+    pub p_d: f64,
+    /// Handoffs satisfied from an advance claim or pool.
+    pub claims_consumed: u64,
+    /// Movement events replayed.
+    pub moves: u64,
+}
+
+/// Build and run a scenario end to end.
+pub fn run(sc: &Scenario) -> ScenarioReport {
+    let (env, trace) = build_env_and_trace(sc);
+    let net = env.build_network(sc.cell_throughput_kbps, sc.wireless_error, sc.backbone_kbps);
+    let cfg = ManagerConfig {
+        strategy: sc.strategy,
+        t_th: SimDuration::from_secs(sc.t_th_secs),
+        ..Default::default()
+    };
+    let mut mgr = ResourceManager::new(env, net, cfg);
+    // Meeting scenarios get the booking calendar.
+    if let (EnvSpec::Meeting, MobilitySpec::Meeting { attendees }) =
+        (&sc.environment, &sc.mobility)
+    {
+        let params = MeetingParams {
+            attendees: *attendees,
+            ..Default::default()
+        };
+        let mut cal = arm_reservation::meeting::BookingCalendar::new();
+        cal.book(arm_reservation::meeting::Meeting {
+            t_start: params.t_start,
+            t_end: params.t_start + params.duration,
+            expected: *attendees as u32,
+        });
+        // The classroom is cell "M".
+        let menv = MeetingEnv::build();
+        mgr.set_calendar(menv.m, cal);
+    }
+
+    let mut rng = SimRng::new(sc.seed).split("scenario-workload");
+    let mix = WorkloadMix::paper71();
+    let mut open: BTreeMap<PortableId, ConnId> = BTreeMap::new();
+    let mut next_slot = SimTime::ZERO + SimDuration::from_mins(1);
+    let mut moves = 0u64;
+    // A portable's connection ends at its final trace event — the user
+    // walks out of the modelled area (finite traces would otherwise pile
+    // up phantom load at the map's edges).
+    let mut last_event: BTreeMap<PortableId, SimTime> = BTreeMap::new();
+    for ev in trace.events() {
+        last_event.insert(ev.portable, ev.time);
+    }
+    for ev in trace.events() {
+        while ev.time >= next_slot {
+            mgr.slot_tick(next_slot);
+            next_slot += SimDuration::from_mins(1);
+        }
+        match ev.from {
+            None => {
+                mgr.portable_appears(ev.portable, ev.to, ev.time);
+                let qos = match &sc.workload {
+                    WorkloadSpec::Paper71 => Some(mix.sample(&mut rng)),
+                    WorkloadSpec::Fixed { kbps } => Some(
+                        arm_net::flowspec::QosRequest::fixed(*kbps)
+                            .with_delay(30.0)
+                            .with_jitter(30.0)
+                            .with_loss(1.0),
+                    ),
+                    WorkloadSpec::None => None,
+                };
+                if let Some(q) = qos {
+                    if let Ok(id) = mgr.request_connection(ev.portable, q, ev.time) {
+                        open.insert(ev.portable, id);
+                    }
+                }
+            }
+            Some(_) => {
+                moves += 1;
+                for id in mgr.portable_moved(ev.portable, ev.to, ev.time) {
+                    open.retain(|_, c| *c != id);
+                }
+            }
+        }
+        if last_event[&ev.portable] == ev.time {
+            if let Some(id) = open.remove(&ev.portable) {
+                mgr.terminate(id, ev.time);
+            }
+        }
+    }
+    ScenarioReport {
+        name: sc.name.clone(),
+        strategy: sc.strategy.label(),
+        requests: mgr.metrics.requests.get(),
+        blocked: mgr.metrics.blocked.get(),
+        handoff_attempts: mgr.metrics.handoff_attempts.get(),
+        dropped: mgr.metrics.dropped.get(),
+        p_b: mgr.metrics.p_b(),
+        p_d: mgr.metrics.p_d(),
+        claims_consumed: mgr.metrics.claims_consumed.get(),
+        moves,
+    }
+}
+
+fn build_env_and_trace(sc: &Scenario) -> (IndoorEnvironment, MobilityTrace) {
+    let mut rng = SimRng::new(sc.seed);
+    match (&sc.environment, &sc.mobility) {
+        (EnvSpec::Figure4, MobilitySpec::OfficeCase) => {
+            let f4 = Figure4::build();
+            let trace = office_case::generate(&f4, &OfficeCaseParams::default(), &mut rng);
+            (f4.env, trace)
+        }
+        (EnvSpec::Meeting, MobilitySpec::Meeting { attendees }) => {
+            let menv = MeetingEnv::build();
+            let params = MeetingParams {
+                attendees: *attendees,
+                ..Default::default()
+            };
+            let trace = meeting::generate(&menv, &params, &mut rng);
+            (menv.env, trace)
+        }
+        (env_spec, MobilitySpec::RandomWalk { population, mean_dwell_secs, span_mins }) => {
+            let env = match env_spec {
+                EnvSpec::Figure4 => Figure4::build().env,
+                EnvSpec::OfficeWing { offices } => office_wing(*offices),
+                EnvSpec::Meeting => MeetingEnv::build().env,
+            };
+            let params = RandomWalkParams {
+                population: *population,
+                mean_dwell: SimDuration::from_secs(*mean_dwell_secs),
+                span: SimDuration::from_mins(*span_mins),
+                ..Default::default()
+            };
+            let trace = random_walk::generate(&env, &params, &mut rng);
+            (env, trace)
+        }
+        (e, m) => panic!("incompatible environment {e:?} and mobility {m:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_round_trips_through_json() {
+        let sc = Scenario::sample();
+        let json = serde_json::to_string_pretty(&sc).expect("serialises");
+        let back: Scenario = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back.name, sc.name);
+        assert_eq!(back.environment, sc.environment);
+        assert_eq!(back.mobility, sc.mobility);
+        assert_eq!(back.strategy, sc.strategy);
+    }
+
+    #[test]
+    fn sample_scenario_runs_clean() {
+        let report = run(&Scenario::sample());
+        assert_eq!(report.dropped, 0, "the paper strategy holds the lecture");
+        assert!(report.requests > 35);
+        assert!(report.moves > 100);
+    }
+
+    #[test]
+    fn random_walk_scenario_runs_on_every_env() {
+        for env in [
+            EnvSpec::Figure4,
+            EnvSpec::OfficeWing { offices: 3 },
+            EnvSpec::Meeting,
+        ] {
+            let sc = Scenario {
+                name: "walk".into(),
+                environment: env,
+                mobility: MobilitySpec::RandomWalk {
+                    population: 15,
+                    mean_dwell_secs: 120,
+                    span_mins: 20,
+                },
+                workload: WorkloadSpec::Fixed { kbps: 64.0 },
+                strategy: Strategy::Aggregate,
+                cell_throughput_kbps: 800.0,
+                backbone_kbps: 100_000.0,
+                wireless_error: 0.0,
+                t_th_secs: 300,
+                seed: 5,
+            };
+            let report = run(&sc);
+            assert!(report.moves > 0);
+            assert_eq!(
+                report.handoff_attempts,
+                report.dropped
+                    + (report.handoff_attempts - report.dropped)
+            );
+        }
+    }
+
+    #[test]
+    fn workload_none_tracks_mobility_only() {
+        let sc = Scenario {
+            workload: WorkloadSpec::None,
+            ..Scenario::sample()
+        };
+        let report = run(&sc);
+        assert_eq!(report.requests, 0);
+        assert_eq!(report.handoff_attempts, 0);
+        assert!(report.moves > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn incompatible_combo_panics() {
+        let sc = Scenario {
+            environment: EnvSpec::Figure4,
+            mobility: MobilitySpec::Meeting { attendees: 10 },
+            ..Scenario::sample()
+        };
+        run(&sc);
+    }
+}

@@ -1,0 +1,46 @@
+//! Which advance-reservation scheme the manager runs.
+
+use serde::{Deserialize, Serialize};
+
+/// The reservation strategy under test.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// No advance reservation at all (handoffs compete for free capacity).
+    None,
+    /// The paper's algorithm: three-level prediction + per-class policies
+    /// (meeting calendar, cafeteria least-squares, default one-step) +
+    /// the `B_dyn` pool.
+    Paper,
+    /// Brute force: reserve every mobile's floors in *all* neighbours.
+    BruteForce,
+    /// Aggregate: spread every mobile's floors over the neighbours by the
+    /// cell profile's transition probabilities.
+    Aggregate,
+    /// Static: a fixed fraction of each cell's capacity, always.
+    StaticFraction(f64),
+}
+
+impl Strategy {
+    /// Short label for report rows.
+    pub fn label(&self) -> String {
+        match self {
+            Strategy::None => "none".into(),
+            Strategy::Paper => "paper".into(),
+            Strategy::BruteForce => "brute-force".into(),
+            Strategy::Aggregate => "aggregate".into(),
+            Strategy::StaticFraction(f) => format!("static-{:.0}%", f * 100.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(Strategy::Paper.label(), "paper");
+        assert_eq!(Strategy::BruteForce.label(), "brute-force");
+        assert_eq!(Strategy::StaticFraction(0.1).label(), "static-10%");
+    }
+}

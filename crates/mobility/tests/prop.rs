@@ -1,0 +1,161 @@
+//! Property-based tests: every mobility generator produces consistent,
+//! deterministic traces for arbitrary parameters.
+
+use arm_mobility::channel::{self, ChannelParams};
+use arm_mobility::environment::{office_wing, Figure4};
+use arm_mobility::models::cafeteria::{self, CafeteriaEnv, CafeteriaParams};
+use arm_mobility::models::meeting::{self, MeetingEnv, MeetingParams};
+use arm_mobility::models::office_case::{self, FanOut, OfficeCaseParams};
+use arm_mobility::models::random_walk::{self, RandomWalkParams};
+use arm_mobility::workload::{poisson_arrivals, ConnTypeSpec};
+use arm_net::ids::CellId;
+use arm_sim::{SimDuration, SimRng, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The office-case generator reproduces arbitrary fan-out counts
+    /// exactly and stays physically consistent.
+    #[test]
+    fn office_case_exact_for_any_counts(
+        fa in 0usize..20, fb in 0usize..20, ffg in 0usize..10,
+        sa in 0usize..10, sb in 0usize..30, sfg in 0usize..10,
+        oa in 0usize..10, ob in 0usize..10, ofg in 0usize..40,
+        n_others in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let params = OfficeCaseParams {
+            faculty: FanOut { to_a: fa, to_b: fb, to_fg: ffg },
+            students: FanOut { to_a: sa, to_b: sb, to_fg: sfg },
+            others: FanOut { to_a: oa, to_b: ob, to_fg: ofg },
+            n_others,
+            week: SimDuration::from_secs(8 * 3600),
+        };
+        let f4 = Figure4::build();
+        let trace = office_case::generate(&f4, &params, &mut SimRng::new(seed));
+        prop_assert!(trace.check_consistency().is_ok());
+        let faculty_cd = trace.count_transition_of(f4.faculty, f4.c, f4.d);
+        prop_assert_eq!(faculty_cd, fa + fb + ffg);
+        let total_cd = trace.count_transition(f4.c, f4.d);
+        prop_assert_eq!(
+            total_cd,
+            fa + fb + ffg + sa + sb + sfg + oa + ob + ofg
+        );
+        prop_assert_eq!(trace.count_transition_of(f4.faculty, f4.d, f4.a), fa);
+    }
+
+    /// Meeting traces: exact attendance, clustered arrivals, consistency.
+    #[test]
+    fn meeting_trace_consistent(
+        attendees in 1usize..40,
+        walkby in 0.0f64..12.0,
+        seed in any::<u64>(),
+    ) {
+        let menv = MeetingEnv::build();
+        let params = MeetingParams {
+            attendees,
+            walkby_quiet_per_min: walkby / 4.0,
+            walkby_surge_per_min: walkby,
+            ..Default::default()
+        };
+        let trace = meeting::generate(&menv, &params, &mut SimRng::new(seed));
+        prop_assert!(trace.check_consistency().is_ok());
+        let entries = trace.events().iter().filter(|e| e.to == menv.m).count();
+        prop_assert_eq!(entries, attendees);
+        let exits = trace.events().iter().filter(|e| e.from == Some(menv.m)).count();
+        prop_assert_eq!(exits, attendees);
+    }
+
+    /// Cafeteria traces: balanced in/out, consistent, all inside the span.
+    #[test]
+    fn cafeteria_trace_consistent(
+        peak in 0.5f64..8.0,
+        stay_mins in 5u64..40,
+        seed in any::<u64>(),
+    ) {
+        let cenv = CafeteriaEnv::build();
+        let params = CafeteriaParams {
+            peak_per_min: peak,
+            mean_stay: SimDuration::from_mins(stay_mins),
+            ..Default::default()
+        };
+        let trace = cafeteria::generate(&cenv, &params, &mut SimRng::new(seed));
+        prop_assert!(trace.check_consistency().is_ok());
+        let ins = trace.events().iter().filter(|e| e.to == cenv.f).count();
+        let outs = trace.events().iter().filter(|e| e.from == Some(cenv.f)).count();
+        prop_assert_eq!(ins, outs);
+    }
+
+    /// Random walks: consistent and deterministic per seed on arbitrary
+    /// wings.
+    #[test]
+    fn random_walk_consistent(
+        offices in 1usize..6,
+        population in 1usize..25,
+        seed in any::<u64>(),
+    ) {
+        let env = office_wing(offices);
+        let params = RandomWalkParams {
+            population,
+            span: SimDuration::from_mins(40),
+            ..Default::default()
+        };
+        let a = random_walk::generate(&env, &params, &mut SimRng::new(seed));
+        prop_assert!(a.check_consistency().is_ok());
+        let b = random_walk::generate(&env, &params, &mut SimRng::new(seed));
+        prop_assert_eq!(a.events(), b.events());
+    }
+
+    /// Channel schedules alternate fade/recover, stay sorted, and end
+    /// recovered.
+    #[test]
+    fn channel_schedule_wellformed(
+        good_secs in 30u64..600,
+        bad_secs in 5u64..120,
+        frac in 0.1f64..0.95,
+        seed in any::<u64>(),
+    ) {
+        let params = ChannelParams {
+            mean_good: SimDuration::from_secs(good_secs),
+            mean_bad: SimDuration::from_secs(bad_secs),
+            bad_fraction: frac,
+        };
+        let evs = channel::generate(
+            CellId(0),
+            &params,
+            SimDuration::from_mins(120),
+            &mut SimRng::new(seed),
+        );
+        prop_assert!(evs.windows(2).all(|w| w[0].time <= w[1].time));
+        for (i, e) in evs.iter().enumerate() {
+            if i % 2 == 0 {
+                prop_assert!((e.effective_fraction - frac).abs() < 1e-12);
+            } else {
+                prop_assert!((e.effective_fraction - 1.0).abs() < 1e-12);
+            }
+        }
+        if let Some(last) = evs.last() {
+            prop_assert_eq!(last.effective_fraction, 1.0);
+        }
+    }
+
+    /// Poisson workload arrivals are sorted, unique, deterministic, and
+    /// scale with the span.
+    #[test]
+    fn workload_arrivals_wellformed(span_units in 50.0f64..400.0, seed in any::<u64>()) {
+        let cells = [CellId(0), CellId(1)];
+        let types = ConnTypeSpec::fig6_types();
+        let span = SimDuration::from_secs_f64(span_units);
+        let unit = SimDuration::from_secs(1);
+        let a = poisson_arrivals(&cells, &types, span, unit, &mut SimRng::new(seed));
+        let b = poisson_arrivals(&cells, &types, span, unit, &mut SimRng::new(seed));
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.windows(2).all(|w| w[0].time <= w[1].time));
+        prop_assert!(a.iter().all(|r| r.time < SimTime::ZERO + span));
+        // Expected count ≈ (30+1)×2×span; allow wide noise bounds.
+        let expect = 62.0 * span_units;
+        prop_assert!((a.len() as f64) > expect * 0.7);
+        prop_assert!((a.len() as f64) < expect * 1.3);
+    }
+}

@@ -1,0 +1,152 @@
+//! Connection lifecycle records.
+//!
+//! A connection is one QoS-bounded flow between two endpoints, one (or
+//! both) of which is a portable on a wireless cell. The record keeps the
+//! negotiated bounds, the current route, the current end-to-end allocated
+//! rate, and lifecycle state; per-link numbers live in the link ledgers.
+
+use arm_sim::SimTime;
+
+use crate::flowspec::QosRequest;
+use crate::ids::{CellId, ConnId, NodeId, PortableId};
+use crate::routing::Route;
+
+/// Where a connection is in its life.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConnectionState {
+    /// Admitted and transferring.
+    Active,
+    /// Mid-handoff: the old cell's resources are being moved to the new
+    /// cell (transient; most operations treat it as active).
+    HandingOff,
+    /// Finished normally.
+    Terminated,
+    /// Dropped mid-lifetime because a handoff could not be accommodated —
+    /// the event counted by the paper's `P_d`.
+    Dropped,
+    /// Never admitted — counted by `P_b`.
+    Blocked,
+}
+
+impl ConnectionState {
+    /// Is the connection consuming resources right now?
+    pub fn is_live(self) -> bool {
+        matches!(self, ConnectionState::Active | ConnectionState::HandingOff)
+    }
+}
+
+/// One QoS-bounded flow.
+#[derive(Clone, Debug)]
+pub struct Connection {
+    /// Identifier.
+    pub id: ConnId,
+    /// The portable this connection belongs to (determines static/mobile
+    /// policy and which cell's medium it consumes).
+    pub portable: PortableId,
+    /// The cell the portable was in when the connection was admitted or
+    /// last handed off.
+    pub cell: CellId,
+    /// Fixed wired endpoint (e.g. a server on the backbone). The wireless
+    /// endpoint is implied by `cell`.
+    pub remote: NodeId,
+    /// Negotiated QoS bounds.
+    pub qos: QosRequest,
+    /// Current route (wireless hop first when the portable is the source).
+    pub route: Route,
+    /// Current end-to-end allocated rate (kbps), in
+    /// `[qos.b_min, qos.b_max]` while live.
+    pub b_current: f64,
+    /// Lifecycle state.
+    pub state: ConnectionState,
+    /// Admission time.
+    pub started: SimTime,
+    /// Handoffs survived so far.
+    pub handoffs: u32,
+}
+
+impl Connection {
+    /// A freshly admitted connection at its minimum rate.
+    pub fn new(
+        id: ConnId,
+        portable: PortableId,
+        cell: CellId,
+        remote: NodeId,
+        qos: QosRequest,
+        route: Route,
+        started: SimTime,
+    ) -> Self {
+        Connection {
+            id,
+            portable,
+            cell,
+            remote,
+            qos,
+            route,
+            b_current: qos.b_min,
+            state: ConnectionState::Active,
+            started,
+            handoffs: 0,
+        }
+    }
+
+    /// Is this connection "satisfied" in the maxmin sense — already at its
+    /// maximum useful rate?
+    pub fn is_satisfied(&self) -> bool {
+        self.b_current >= self.qos.b_max - 1e-9
+    }
+
+    /// How much more bandwidth the connection could use.
+    pub fn residual_demand(&self) -> f64 {
+        (self.qos.b_max - self.b_current).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flowspec::QosRequest;
+
+    fn conn(b_min: f64, b_max: f64) -> Connection {
+        Connection::new(
+            ConnId(0),
+            PortableId(0),
+            CellId(0),
+            NodeId(0),
+            QosRequest::bandwidth(b_min, b_max),
+            Route::trivial(NodeId(0)),
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn starts_at_minimum_rate() {
+        let c = conn(16.0, 64.0);
+        assert_eq!(c.b_current, 16.0);
+        assert_eq!(c.state, ConnectionState::Active);
+        assert!(!c.is_satisfied());
+        assert_eq!(c.residual_demand(), 48.0);
+    }
+
+    #[test]
+    fn satisfaction_at_b_max() {
+        let mut c = conn(16.0, 64.0);
+        c.b_current = 64.0;
+        assert!(c.is_satisfied());
+        assert_eq!(c.residual_demand(), 0.0);
+    }
+
+    #[test]
+    fn fixed_rate_is_born_satisfied() {
+        let c = conn(16.0, 16.0);
+        assert!(c.is_satisfied());
+    }
+
+    #[test]
+    fn state_liveness() {
+        assert!(ConnectionState::Active.is_live());
+        assert!(ConnectionState::HandingOff.is_live());
+        assert!(!ConnectionState::Terminated.is_live());
+        assert!(!ConnectionState::Dropped.is_live());
+        assert!(!ConnectionState::Blocked.is_live());
+    }
+}

@@ -1,0 +1,46 @@
+//! # arm-net — the network substrate
+//!
+//! The paper's system model (§3.1): a cellular architecture with a wired
+//! backbone and a wireless cellular component. Base stations hang off
+//! backbone switches and serve *cells*; neighbouring cells overlap so a
+//! portable can hand off between them. All wireless traffic is uplink or
+//! downlink between a portable and its base station.
+//!
+//! This crate supplies the data plane the algorithm crates operate on:
+//!
+//! * [`ids`] — strongly typed identifiers (`NodeId`, `LinkId`, `CellId`,
+//!   `ConnId`, `PortableId`, `ZoneId`),
+//! * [`flowspec`] — `(σ, ρ)` traffic envelopes and QoS-bound requests
+//!   (`[b_min, b_max]`, delay, jitter, loss — §5.1),
+//! * [`topology`] — the node/link graph and its builders,
+//! * [`routing`] — Dijkstra paths over the backbone and multicast fan-out
+//!   to neighbour cells (§4's multicast pre-setup),
+//! * [`link`] — per-link reservation ledgers: capacity `C_l`, the advance
+//!   reservation pool `b_resv,l`, per-connection allocations, and the
+//!   excess-bandwidth accounting (`b'_av,l`) that drives the maxmin
+//!   machinery of §5.2,
+//! * [`connection`] — connection lifecycle records,
+//! * [`message`] — ADVERTISE / UPDATE control packets (§5.3.1).
+//!
+//! Everything is a plain, deterministic data structure — the event loop
+//! lives in `arm-sim`, and algorithms live in `arm-qos` and friends.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod connection;
+pub mod flowspec;
+pub mod ids;
+pub mod link;
+pub mod message;
+pub mod network;
+pub mod routing;
+pub mod topology;
+
+pub use connection::{Connection, ConnectionState};
+pub use flowspec::{QosRequest, TrafficSpec};
+pub use ids::{CellId, ConnId, LinkId, NodeId, PortableId, ZoneId};
+pub use link::LinkState;
+pub use network::Network;
+pub use routing::Route;
+pub use topology::{LinkSpec, NodeKind, Topology};

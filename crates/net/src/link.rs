@@ -1,0 +1,595 @@
+//! Per-link reservation ledgers.
+//!
+//! A [`LinkState`] tracks, for one capacity resource `l`:
+//!
+//! * the link speed `C_l`,
+//! * **allocations** for ongoing connections: each connection `i` holds a
+//!   guaranteed floor `b_min,i` and a current allocation
+//!   `b_alloc,i ∈ [b_min,i, b_max,i]` (the upper bound is enforced by the
+//!   caller, which knows the QoS request),
+//! * **advance reservations** `b_resv,l`: bandwidth set aside for predicted
+//!   handoffs. Claims are named — per-connection claims for
+//!   profile-predicted handoffs, per-cell aggregate claims from the lounge
+//!   algorithms, and the dynamically adjustable pool `B_dyn` of §4.3 —
+//!   so each reservation algorithm can adjust its own claims without
+//!   trampling the others,
+//! * **buffer space** allocations (Table 2's buffer column).
+//!
+//! The paper's central quantity, the *excess available bandwidth*
+//! `b'_av,l := C_l − b_resv,l − Σ_i b_min,i` (§5.2), falls directly out of
+//! the ledger.
+//!
+//! ## Feasibility invariant
+//!
+//! `Σ_i b_alloc,i + b_resv,l ≤ C_l` at all times (checked in debug builds
+//! and by `check_invariants`). Operations that would violate it fail with
+//! [`LedgerError`] instead of silently overcommitting.
+
+use std::collections::BTreeMap;
+
+use crate::ids::{CellId, ConnId};
+
+/// Who owns an advance-reservation claim.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ResvClaim {
+    /// Profile-predicted handoff of one specific connection.
+    Conn(ConnId),
+    /// An aggregate claim made on behalf of a neighbouring cell's
+    /// reservation algorithm (meeting room / cafeteria / default).
+    Cell(CellId),
+    /// The dynamically adjustable pool `B_dyn` for unforeseen events
+    /// (sudden movement of static portables), §4.3.
+    DynPool,
+    /// Capacity currently lost to wireless channel error — the paper's
+    /// "time-varying effective capacity of the wireless link". Installed
+    /// by the channel monitor; not consumable by handoffs.
+    Channel,
+}
+
+/// One connection's slice of the link.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Alloc {
+    /// Guaranteed floor `b_min` (kbps).
+    pub b_min: f64,
+    /// Current allocation (kbps), `≥ b_min`.
+    pub b_alloc: f64,
+    /// Reserved buffer space (kilobits).
+    pub buffer: f64,
+}
+
+/// Ledger operation failures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LedgerError {
+    /// The operation would overcommit the link (`Σ b_alloc + b_resv > C`).
+    Overcommitted,
+    /// The connection is not allocated on this link.
+    UnknownConn,
+    /// The connection is already allocated on this link.
+    DuplicateConn,
+    /// An allocation below the connection's floor was requested.
+    BelowFloor,
+    /// Buffer pool exhausted.
+    BufferExhausted,
+}
+
+impl std::fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LedgerError::Overcommitted => write!(f, "link would be overcommitted"),
+            LedgerError::UnknownConn => write!(f, "connection not allocated on link"),
+            LedgerError::DuplicateConn => write!(f, "connection already allocated on link"),
+            LedgerError::BelowFloor => write!(f, "allocation below b_min"),
+            LedgerError::BufferExhausted => write!(f, "buffer pool exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for LedgerError {}
+
+/// Reservation and allocation state of one link.
+#[derive(Clone, Debug)]
+pub struct LinkState {
+    capacity: f64,
+    buffer_capacity: f64,
+    allocs: BTreeMap<ConnId, Alloc>,
+    advance: BTreeMap<ResvClaim, f64>,
+    sum_b_min: f64,
+    sum_b_alloc: f64,
+    sum_resv: f64,
+    sum_buffer: f64,
+}
+
+/// Numerical slack for float accounting; a millionth of a kbps.
+const EPS: f64 = 1e-6;
+
+impl LinkState {
+    /// A fresh ledger for a link of the given capacity, with an
+    /// effectively unlimited buffer pool.
+    pub fn new(capacity: f64) -> Self {
+        assert!(capacity > 0.0, "link capacity must be positive");
+        LinkState {
+            capacity,
+            buffer_capacity: f64::INFINITY,
+            allocs: BTreeMap::new(),
+            advance: BTreeMap::new(),
+            sum_b_min: 0.0,
+            sum_b_alloc: 0.0,
+            sum_resv: 0.0,
+            sum_buffer: 0.0,
+        }
+    }
+
+    /// Bound the buffer pool (kilobits).
+    pub fn with_buffer_capacity(mut self, b: f64) -> Self {
+        self.buffer_capacity = b;
+        self
+    }
+
+    /// Link speed `C_l`.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Total advance-reserved bandwidth `b_resv,l`.
+    pub fn b_resv(&self) -> f64 {
+        self.sum_resv
+    }
+
+    /// Sum of allocation floors `Σ b_min,i`.
+    pub fn sum_b_min(&self) -> f64 {
+        self.sum_b_min
+    }
+
+    /// Sum of current allocations `Σ b_alloc,i`.
+    pub fn sum_b_alloc(&self) -> f64 {
+        self.sum_b_alloc
+    }
+
+    /// The paper's excess available bandwidth
+    /// `b'_av,l = C_l − b_resv,l − Σ b_min,i`. May be negative after a
+    /// capacity drop — §5.3's signal that re-negotiation is required.
+    pub fn excess_available(&self) -> f64 {
+        self.capacity - self.sum_resv - self.sum_b_min
+    }
+
+    /// Bandwidth not yet handed to anyone:
+    /// `C_l − b_resv,l − Σ b_alloc,i`.
+    pub fn unallocated(&self) -> f64 {
+        self.capacity - self.sum_resv - self.sum_b_alloc
+    }
+
+    /// Number of ongoing connections `N_l`.
+    pub fn conn_count(&self) -> usize {
+        self.allocs.len()
+    }
+
+    /// Iterate over ongoing connections and their allocations.
+    pub fn allocs(&self) -> impl Iterator<Item = (ConnId, &Alloc)> {
+        self.allocs.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Allocation of one connection, if present.
+    pub fn alloc(&self, conn: ConnId) -> Option<&Alloc> {
+        self.allocs.get(&conn)
+    }
+
+    /// True if the connection is allocated here.
+    pub fn has_conn(&self, conn: ConnId) -> bool {
+        self.allocs.contains_key(&conn)
+    }
+
+    // ------------------------------------------------------------------
+    // Admission / release
+    // ------------------------------------------------------------------
+
+    /// Can a new connection with floor `b_min` pass the Table 2 bandwidth
+    /// test on this link? (`b_min ≤ C_l − b_resv,l − Σ b_min,i`.)
+    pub fn admits(&self, b_min: f64) -> bool {
+        b_min <= self.excess_available() + EPS
+    }
+
+    /// Like [`admits`](Self::admits), but allowing the connection to
+    /// consume its own advance-reservation claim (the handoff case: "the
+    /// connection handoff is able to use the advance reserved resources").
+    pub fn admits_with_claim(&self, conn: ConnId, b_min: f64) -> bool {
+        let own = self.claim(ResvClaim::Conn(conn));
+        b_min <= self.excess_available() + own + EPS
+    }
+
+    /// Admit a connection at its floor. Fails if the bandwidth test fails
+    /// or the connection is already present.
+    pub fn admit(&mut self, conn: ConnId, b_min: f64, buffer: f64) -> Result<(), LedgerError> {
+        self.admit_inner(conn, b_min, buffer, false)
+    }
+
+    /// Admit a handing-off connection, consuming (releasing) its own
+    /// advance claim first.
+    pub fn admit_handoff(
+        &mut self,
+        conn: ConnId,
+        b_min: f64,
+        buffer: f64,
+    ) -> Result<(), LedgerError> {
+        self.admit_inner(conn, b_min, buffer, true)
+    }
+
+    fn admit_inner(
+        &mut self,
+        conn: ConnId,
+        b_min: f64,
+        buffer: f64,
+        consume_claim: bool,
+    ) -> Result<(), LedgerError> {
+        assert!(b_min >= 0.0 && buffer >= 0.0);
+        if self.allocs.contains_key(&conn) {
+            return Err(LedgerError::DuplicateConn);
+        }
+        let admissible = if consume_claim {
+            self.admits_with_claim(conn, b_min)
+        } else {
+            self.admits(b_min)
+        };
+        if !admissible {
+            return Err(LedgerError::Overcommitted);
+        }
+        if self.sum_buffer + buffer > self.buffer_capacity + EPS {
+            return Err(LedgerError::BufferExhausted);
+        }
+        if consume_claim {
+            self.release_claim(ResvClaim::Conn(conn));
+        }
+        self.allocs.insert(
+            conn,
+            Alloc {
+                b_min,
+                b_alloc: b_min,
+                buffer,
+            },
+        );
+        self.sum_b_min += b_min;
+        self.sum_b_alloc += b_min;
+        self.sum_buffer += buffer;
+        // Resource conflict (§5.2 case b): the floor fits but connections
+        // adapted above their floors are in the way. Squeeze their excess
+        // proportionally — the maxmin adaptation round the caller runs next
+        // will redistribute what remains fairly.
+        self.squeeze_to_fit();
+        self.debug_check();
+        Ok(())
+    }
+
+    /// Reduce above-floor allocations proportionally until
+    /// `Σ b_alloc ≤ C_l`. Admission tests guarantee floors alone fit, so
+    /// this always succeeds.
+    fn squeeze_to_fit(&mut self) {
+        let overflow = self.sum_b_alloc - self.capacity;
+        if overflow <= EPS {
+            return;
+        }
+        let total_excess: f64 = self
+            .allocs
+            .values()
+            .map(|a| a.b_alloc - a.b_min)
+            .sum::<f64>();
+        debug_assert!(
+            total_excess + EPS >= overflow,
+            "floors alone overflow the link"
+        );
+        if total_excess <= 0.0 {
+            return;
+        }
+        let scale = ((total_excess - overflow) / total_excess).max(0.0);
+        let mut new_sum = 0.0;
+        for a in self.allocs.values_mut() {
+            a.b_alloc = a.b_min + (a.b_alloc - a.b_min) * scale;
+            new_sum += a.b_alloc;
+        }
+        self.sum_b_alloc = new_sum;
+    }
+
+    /// Release a connection entirely, returning its allocation.
+    pub fn release(&mut self, conn: ConnId) -> Result<Alloc, LedgerError> {
+        let alloc = self.allocs.remove(&conn).ok_or(LedgerError::UnknownConn)?;
+        self.sum_b_min -= alloc.b_min;
+        self.sum_b_alloc -= alloc.b_alloc;
+        self.sum_buffer -= alloc.buffer;
+        self.clamp_sums();
+        self.debug_check();
+        Ok(alloc)
+    }
+
+    /// Set a connection's current allocation (adaptation). Must be at
+    /// least its floor and must keep the link feasible. Decreases are
+    /// always allowed (they can only improve feasibility); increases must
+    /// fit beside the advance reservations.
+    pub fn set_alloc(&mut self, conn: ConnId, b_alloc: f64) -> Result<(), LedgerError> {
+        let cur = self.allocs.get(&conn).ok_or(LedgerError::UnknownConn)?;
+        if b_alloc + EPS < cur.b_min {
+            return Err(LedgerError::BelowFloor);
+        }
+        let new_sum = self.sum_b_alloc - cur.b_alloc + b_alloc;
+        let increasing = b_alloc > cur.b_alloc;
+        if increasing && new_sum + self.sum_resv > self.capacity + EPS {
+            return Err(LedgerError::Overcommitted);
+        }
+        let entry = self.allocs.get_mut(&conn).expect("checked above");
+        self.sum_b_alloc = new_sum;
+        entry.b_alloc = b_alloc;
+        self.debug_check();
+        Ok(())
+    }
+
+    /// Set a connection's reserved buffer (buffer adaptation, §5.3).
+    pub fn set_buffer(&mut self, conn: ConnId, buffer: f64) -> Result<(), LedgerError> {
+        let cur = self.allocs.get(&conn).ok_or(LedgerError::UnknownConn)?;
+        let new_sum = self.sum_buffer - cur.buffer + buffer;
+        if new_sum > self.buffer_capacity + EPS {
+            return Err(LedgerError::BufferExhausted);
+        }
+        let entry = self.allocs.get_mut(&conn).expect("checked above");
+        self.sum_buffer = new_sum;
+        entry.buffer = buffer;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Advance reservations
+    // ------------------------------------------------------------------
+
+    /// Current size of one claim (0 if absent).
+    pub fn claim(&self, key: ResvClaim) -> f64 {
+        self.advance.get(&key).copied().unwrap_or(0.0)
+    }
+
+    /// Set a claim to an absolute amount, replacing any previous amount
+    /// under the same key. The amount is granted even if it pushes the
+    /// link into negative excess — the paper's algorithms deliberately
+    /// over-reserve and then resolve conflicts by squeezing allocations —
+    /// but never beyond what squeezing could recover: the grant is capped
+    /// so that `Σ b_min + b_resv ≤ C_l`. Returns the granted amount.
+    pub fn set_claim(&mut self, key: ResvClaim, amount: f64) -> f64 {
+        assert!(amount >= 0.0);
+        let old = self.claim(key);
+        let headroom = (self.capacity - self.sum_b_min - (self.sum_resv - old)).max(0.0);
+        let granted = amount.min(headroom);
+        if granted <= EPS {
+            self.advance.remove(&key);
+            self.sum_resv -= old;
+        } else {
+            self.advance.insert(key, granted);
+            self.sum_resv += granted - old;
+        }
+        self.clamp_sums();
+        granted
+    }
+
+    /// Remove a claim entirely, returning the released amount.
+    pub fn release_claim(&mut self, key: ResvClaim) -> f64 {
+        match self.advance.remove(&key) {
+            Some(v) => {
+                self.sum_resv -= v;
+                self.clamp_sums();
+                v
+            }
+            None => 0.0,
+        }
+    }
+
+    /// Iterate over advance claims.
+    pub fn claims(&self) -> impl Iterator<Item = (ResvClaim, f64)> + '_ {
+        self.advance.iter().map(|(k, v)| (*k, *v))
+    }
+
+    // ------------------------------------------------------------------
+    // Invariants
+    // ------------------------------------------------------------------
+
+    /// Verify ledger internal consistency; used by property tests.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let b_min: f64 = self.allocs.values().map(|a| a.b_min).sum();
+        let b_alloc: f64 = self.allocs.values().map(|a| a.b_alloc).sum();
+        let buffer: f64 = self.allocs.values().map(|a| a.buffer).sum();
+        let resv: f64 = self.advance.values().sum();
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-6 * (1.0 + a.abs() + b.abs());
+        if !close(b_min, self.sum_b_min) {
+            return Err(format!("sum_b_min drift: {} vs {}", b_min, self.sum_b_min));
+        }
+        if !close(b_alloc, self.sum_b_alloc) {
+            return Err(format!(
+                "sum_b_alloc drift: {} vs {}",
+                b_alloc, self.sum_b_alloc
+            ));
+        }
+        if !close(buffer, self.sum_buffer) {
+            return Err(format!(
+                "sum_buffer drift: {} vs {}",
+                buffer, self.sum_buffer
+            ));
+        }
+        if !close(resv, self.sum_resv) {
+            return Err(format!("sum_resv drift: {} vs {}", resv, self.sum_resv));
+        }
+        for (c, a) in &self.allocs {
+            if a.b_alloc + EPS < a.b_min {
+                return Err(format!("{c:?} allocated below floor"));
+            }
+        }
+        let tol = 1e-6 * (1.0 + self.capacity);
+        // Physical: actual transmissions never exceed the link speed.
+        if b_alloc > self.capacity + tol {
+            return Err(format!(
+                "allocations {} exceed capacity {}",
+                b_alloc, self.capacity
+            ));
+        }
+        // Guarantee feasibility: every floor plus every advance claim can
+        // be honoured simultaneously (claims are capped to ensure this).
+        if b_min + resv > self.capacity + tol {
+            return Err(format!(
+                "floors {} + resv {} > capacity {}",
+                b_min, resv, self.capacity
+            ));
+        }
+        Ok(())
+    }
+
+    fn clamp_sums(&mut self) {
+        // Guard against float drift pushing sums slightly negative.
+        if self.sum_b_min < 0.0 && self.sum_b_min > -EPS {
+            self.sum_b_min = 0.0;
+        }
+        if self.sum_b_alloc < 0.0 && self.sum_b_alloc > -EPS {
+            self.sum_b_alloc = 0.0;
+        }
+        if self.sum_resv < 0.0 && self.sum_resv > -EPS {
+            self.sum_resv = 0.0;
+        }
+        if self.sum_buffer < 0.0 && self.sum_buffer > -EPS {
+            self.sum_buffer = 0.0;
+        }
+    }
+
+    #[inline]
+    fn debug_check(&self) {
+        #[cfg(debug_assertions)]
+        if let Err(e) = self.check_invariants() {
+            panic!("ledger invariant violated: {e}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cid(i: u32) -> ConnId {
+        ConnId(i)
+    }
+
+    #[test]
+    fn admit_and_release() {
+        let mut l = LinkState::new(100.0);
+        assert!(l.admits(60.0));
+        l.admit(cid(1), 60.0, 5.0).unwrap();
+        assert_eq!(l.sum_b_min(), 60.0);
+        assert_eq!(l.excess_available(), 40.0);
+        assert!(!l.admits(50.0));
+        assert!(l.admits(40.0));
+        assert_eq!(l.admit(cid(1), 10.0, 0.0), Err(LedgerError::DuplicateConn));
+        assert_eq!(
+            l.admit(cid(2), 50.0, 0.0),
+            Err(LedgerError::Overcommitted)
+        );
+        let a = l.release(cid(1)).unwrap();
+        assert_eq!(a.b_min, 60.0);
+        assert_eq!(l.excess_available(), 100.0);
+        assert_eq!(l.release(cid(1)), Err(LedgerError::UnknownConn));
+    }
+
+    #[test]
+    fn adaptation_between_floor_and_capacity() {
+        let mut l = LinkState::new(100.0);
+        l.admit(cid(1), 20.0, 0.0).unwrap();
+        l.admit(cid(2), 20.0, 0.0).unwrap();
+        l.set_alloc(cid(1), 60.0).unwrap();
+        assert_eq!(l.sum_b_alloc(), 80.0);
+        assert_eq!(l.unallocated(), 20.0);
+        // excess_available ignores allocations above floors (it's the
+        // pool being divided), so it stays at C − Σ b_min.
+        assert_eq!(l.excess_available(), 60.0);
+        assert_eq!(l.set_alloc(cid(2), 50.0), Err(LedgerError::Overcommitted));
+        assert_eq!(l.set_alloc(cid(1), 10.0), Err(LedgerError::BelowFloor));
+        assert_eq!(l.set_alloc(cid(9), 10.0), Err(LedgerError::UnknownConn));
+        l.set_alloc(cid(1), 20.0).unwrap();
+        l.set_alloc(cid(2), 80.0).unwrap();
+        assert_eq!(l.unallocated(), 0.0);
+    }
+
+    #[test]
+    fn advance_claims_reduce_admissibility() {
+        let mut l = LinkState::new(100.0);
+        let granted = l.set_claim(ResvClaim::DynPool, 10.0);
+        assert_eq!(granted, 10.0);
+        l.set_claim(ResvClaim::Conn(cid(7)), 30.0);
+        assert_eq!(l.b_resv(), 40.0);
+        assert!(!l.admits(70.0));
+        assert!(l.admits(60.0));
+        // The predicted connection itself may consume its claim.
+        assert!(l.admits_with_claim(cid(7), 90.0));
+        l.admit_handoff(cid(7), 90.0, 0.0).unwrap();
+        assert_eq!(l.claim(ResvClaim::Conn(cid(7))), 0.0);
+        assert_eq!(l.b_resv(), 10.0);
+        assert_eq!(l.sum_b_min(), 90.0);
+    }
+
+    #[test]
+    fn handoff_uses_only_its_own_claim() {
+        let mut l = LinkState::new(100.0);
+        l.set_claim(ResvClaim::Conn(cid(1)), 50.0);
+        // A different connection cannot use conn 1's claim.
+        assert!(!l.admits_with_claim(cid(2), 60.0));
+        assert_eq!(
+            l.admit_handoff(cid(2), 60.0, 0.0),
+            Err(LedgerError::Overcommitted)
+        );
+        assert!(l.admits_with_claim(cid(2), 50.0));
+    }
+
+    #[test]
+    fn claim_replacement_and_release() {
+        let mut l = LinkState::new(100.0);
+        l.set_claim(ResvClaim::Cell(CellId(3)), 30.0);
+        l.set_claim(ResvClaim::Cell(CellId(3)), 10.0);
+        assert_eq!(l.b_resv(), 10.0);
+        assert_eq!(l.claim(ResvClaim::Cell(CellId(3))), 10.0);
+        assert_eq!(l.release_claim(ResvClaim::Cell(CellId(3))), 10.0);
+        assert_eq!(l.release_claim(ResvClaim::Cell(CellId(3))), 0.0);
+        assert_eq!(l.b_resv(), 0.0);
+        // Setting a claim to zero removes it.
+        l.set_claim(ResvClaim::DynPool, 5.0);
+        l.set_claim(ResvClaim::DynPool, 0.0);
+        assert_eq!(l.claims().count(), 0);
+    }
+
+    #[test]
+    fn claims_capped_at_squeezable_headroom() {
+        let mut l = LinkState::new(100.0);
+        l.admit(cid(1), 40.0, 0.0).unwrap();
+        l.set_alloc(cid(1), 90.0).unwrap();
+        // Headroom above floors is 60 even though only 10 is unallocated:
+        // conflict resolution can squeeze conn 1 back to its floor.
+        let granted = l.set_claim(ResvClaim::Cell(CellId(0)), 80.0);
+        assert_eq!(granted, 60.0);
+        assert!(l.check_invariants().is_ok());
+        // While the claim transiently overlaps conn 1's excess allocation,
+        // a further allocation increase is refused...
+        assert_eq!(l.set_alloc(cid(1), 95.0), Err(LedgerError::Overcommitted));
+        // ...but squeezing back toward the floor always succeeds.
+        l.set_alloc(cid(1), 40.0).unwrap();
+        assert!(l.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn buffer_pool_enforced() {
+        let mut l = LinkState::new(100.0).with_buffer_capacity(10.0);
+        l.admit(cid(1), 10.0, 8.0).unwrap();
+        assert_eq!(
+            l.admit(cid(2), 10.0, 5.0),
+            Err(LedgerError::BufferExhausted)
+        );
+        l.admit(cid(2), 10.0, 2.0).unwrap();
+        assert_eq!(l.set_buffer(cid(2), 3.0), Err(LedgerError::BufferExhausted));
+        l.set_buffer(cid(1), 1.0).unwrap();
+        l.set_buffer(cid(2), 3.0).unwrap();
+    }
+
+    #[test]
+    fn negative_excess_signals_renegotiation() {
+        let mut l = LinkState::new(100.0);
+        l.admit(cid(1), 80.0, 0.0).unwrap();
+        // A capacity drop is modelled by a claim the channel monitor puts
+        // on the link (see arm-qos::adaptation); excess goes negative.
+        l.set_claim(ResvClaim::DynPool, 20.0);
+        assert!(l.excess_available() <= 0.0);
+    }
+}

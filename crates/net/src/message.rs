@@ -1,0 +1,123 @@
+//! Control packets of the distributed rate-allocation protocol (§5.3.1).
+//!
+//! Switches exchange **ADVERTISE** packets carrying a *stamped rate* — the
+//! initiating switch's desired bandwidth for a connection — which each
+//! intermediate switch clamps down to its own *advertised rate*. After the
+//! (up to four) round trips, the initiator emits **UPDATE** messages fixing
+//! the connection's new rate. Each ADVERTISE carries a global id and a
+//! sequence number "to avoid possible infinite loop due to the flooding
+//! mechanism".
+
+use crate::ids::{ConnId, NodeId};
+
+/// Which way along a connection's route a control packet travels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Toward the connection's source.
+    Upstream,
+    /// Toward the connection's destination.
+    Downstream,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn reverse(self) -> Direction {
+        match self {
+            Direction::Upstream => Direction::Downstream,
+            Direction::Downstream => Direction::Upstream,
+        }
+    }
+}
+
+/// A control packet on the signalling channel.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ControlMessage {
+    /// Rate advertisement for one connection.
+    Advertise(Advertise),
+    /// Final rate fix after an adaptation round.
+    Update(Update),
+}
+
+/// ADVERTISE: "the next estimate for optimal bandwidth for the connection".
+#[derive(Clone, Debug, PartialEq)]
+pub struct Advertise {
+    /// The connection this advertisement concerns.
+    pub conn: ConnId,
+    /// Stamped rate `b_stamp` — the initiator's desired *excess* bandwidth
+    /// for the connection (kbps beyond `b_min`), clamped downward by every
+    /// switch whose advertised rate is lower.
+    pub stamped_rate: f64,
+    /// Travel direction relative to the connection's route.
+    pub direction: Direction,
+    /// The switch that initiated this adaptation round.
+    pub initiator: NodeId,
+    /// Global id of the adaptation round (initiator-scoped counter).
+    pub global_id: u64,
+    /// Sequence number within the round (1..=4: the four round trips).
+    pub seq: u32,
+}
+
+/// UPDATE: fixes a connection's rate to the converged value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Update {
+    /// The connection being updated.
+    pub conn: ConnId,
+    /// New excess rate (kbps beyond `b_min`).
+    pub rate: f64,
+    /// The switch that initiated the round.
+    pub initiator: NodeId,
+    /// Global id of the adaptation round.
+    pub global_id: u64,
+}
+
+impl ControlMessage {
+    /// The connection this message concerns.
+    pub fn conn(&self) -> ConnId {
+        match self {
+            ControlMessage::Advertise(a) => a.conn,
+            ControlMessage::Update(u) => u.conn,
+        }
+    }
+
+    /// UPDATE packets are processed before ADVERTISE packets when both
+    /// arrive simultaneously (§5.3.1); this priority key sorts accordingly
+    /// (lower = first).
+    pub fn priority(&self) -> u8 {
+        match self {
+            ControlMessage::Update(_) => 0,
+            ControlMessage::Advertise(_) => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_reversal() {
+        assert_eq!(Direction::Upstream.reverse(), Direction::Downstream);
+        assert_eq!(Direction::Downstream.reverse(), Direction::Upstream);
+    }
+
+    #[test]
+    fn update_outranks_advertise() {
+        let adv = ControlMessage::Advertise(Advertise {
+            conn: ConnId(1),
+            stamped_rate: 10.0,
+            direction: Direction::Upstream,
+            initiator: NodeId(0),
+            global_id: 1,
+            seq: 1,
+        });
+        let upd = ControlMessage::Update(Update {
+            conn: ConnId(1),
+            rate: 8.0,
+            initiator: NodeId(0),
+            global_id: 1,
+        });
+        assert!(upd.priority() < adv.priority());
+        assert_eq!(adv.conn(), ConnId(1));
+        assert_eq!(upd.conn(), ConnId(1));
+    }
+}

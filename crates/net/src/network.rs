@@ -1,0 +1,423 @@
+//! The assembled network: topology + per-link ledgers + connection table.
+//!
+//! [`Network`] is the mutable state every algorithm crate operates on. It
+//! offers *mechanical* multi-link operations (reserve a floor along a
+//! route with rollback, release a route, move a connection between
+//! routes); *policy* — the full Table 2 admission test, maxmin adaptation,
+//! advance reservation — lives in `arm-qos` / `arm-reservation`.
+
+use std::collections::BTreeSet;
+
+use crate::connection::{Connection, ConnectionState};
+use crate::ids::{CellId, ConnId, LinkId};
+use crate::link::{LedgerError, LinkState};
+use crate::routing::Route;
+use crate::topology::Topology;
+
+/// Topology plus run-time state.
+#[derive(Clone, Debug)]
+pub struct Network {
+    topo: Topology,
+    links: Vec<LinkState>,
+    conns: Vec<Option<Connection>>,
+    /// Live connections traversing each link (index = LinkId).
+    link_conns: Vec<BTreeSet<ConnId>>,
+}
+
+impl Network {
+    /// Instantiate ledgers for every link of the topology.
+    pub fn new(topo: Topology) -> Self {
+        let links = (0..topo.link_count())
+            .map(|i| LinkState::new(topo.link(LinkId::from_index(i)).capacity))
+            .collect();
+        let link_conns = vec![BTreeSet::new(); topo.link_count()];
+        Network {
+            topo,
+            links,
+            conns: Vec::new(),
+            link_conns,
+        }
+    }
+
+    /// The static graph.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Ledger of one link.
+    pub fn link(&self, l: LinkId) -> &LinkState {
+        &self.links[l.index()]
+    }
+
+    /// Mutable ledger of one link.
+    pub fn link_mut(&mut self, l: LinkId) -> &mut LinkState {
+        &mut self.links[l.index()]
+    }
+
+    /// Live connections traversing a link.
+    pub fn conns_on_link(&self, l: LinkId) -> impl Iterator<Item = &Connection> {
+        self.link_conns[l.index()]
+            .iter()
+            .filter_map(move |c| self.get(*c))
+    }
+
+    /// Ids of live connections traversing a link.
+    pub fn conn_ids_on_link(&self, l: LinkId) -> Vec<ConnId> {
+        self.link_conns[l.index()].iter().copied().collect()
+    }
+
+    /// Number of live connections traversing a link (`N_l`).
+    pub fn conn_count_on_link(&self, l: LinkId) -> usize {
+        self.link_conns[l.index()].len()
+    }
+
+    // ------------------------------------------------------------------
+    // Connection table
+    // ------------------------------------------------------------------
+
+    /// Reserve the next connection id (before admission, so failed
+    /// attempts are also identifiable in traces).
+    pub fn next_conn_id(&mut self) -> ConnId {
+        let id = ConnId::from_index(self.conns.len());
+        self.conns.push(None);
+        id
+    }
+
+    /// Install a connection record under its pre-allocated id.
+    pub fn install(&mut self, conn: Connection) {
+        let idx = conn.id.index();
+        assert!(idx < self.conns.len(), "id not pre-allocated");
+        assert!(self.conns[idx].is_none(), "id already installed");
+        self.conns[idx] = Some(conn);
+    }
+
+    /// Look up a live or finished connection.
+    pub fn get(&self, id: ConnId) -> Option<&Connection> {
+        self.conns.get(id.index()).and_then(|c| c.as_ref())
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, id: ConnId) -> Option<&mut Connection> {
+        self.conns.get_mut(id.index()).and_then(|c| c.as_mut())
+    }
+
+    /// Iterate over all connection records (any state).
+    pub fn connections(&self) -> impl Iterator<Item = &Connection> {
+        self.conns.iter().filter_map(|c| c.as_ref())
+    }
+
+    /// Iterate over live connections.
+    pub fn live_connections(&self) -> impl Iterator<Item = &Connection> {
+        self.connections().filter(|c| c.state.is_live())
+    }
+
+    /// Live connections of one portable.
+    pub fn connections_of_portable(
+        &self,
+        p: crate::ids::PortableId,
+    ) -> impl Iterator<Item = &Connection> {
+        self.live_connections().filter(move |c| c.portable == p)
+    }
+
+    /// Live connections currently homed in a cell.
+    pub fn connections_in_cell(&self, cell: CellId) -> impl Iterator<Item = &Connection> {
+        self.live_connections().filter(move |c| c.cell == cell)
+    }
+
+    // ------------------------------------------------------------------
+    // Mechanical multi-link operations
+    // ------------------------------------------------------------------
+
+    /// Reserve `b_min`/`buffers[i]` on every link of `route` for `conn`,
+    /// atomically: on any per-link failure, links already reserved are
+    /// rolled back and the error is returned together with the failing
+    /// link. `buffers` must have one entry per route link.
+    ///
+    /// `as_handoff` lets the connection consume its own advance claims.
+    pub fn reserve_route(
+        &mut self,
+        conn: ConnId,
+        route: &Route,
+        b_min: f64,
+        buffers: &[f64],
+        as_handoff: bool,
+    ) -> Result<(), (LinkId, LedgerError)> {
+        assert_eq!(buffers.len(), route.links.len());
+        let mut done = 0;
+        for (i, l) in route.links.iter().enumerate() {
+            let r = if as_handoff {
+                self.links[l.index()].admit_handoff(conn, b_min, buffers[i])
+            } else {
+                self.links[l.index()].admit(conn, b_min, buffers[i])
+            };
+            match r {
+                Ok(()) => done += 1,
+                Err(e) => {
+                    for l in &route.links[..done] {
+                        self.links[l.index()]
+                            .release(conn)
+                            .expect("rollback of just-reserved link");
+                        self.link_conns[l.index()].remove(&conn);
+                    }
+                    return Err((*l, e));
+                }
+            }
+        }
+        for l in &route.links {
+            self.link_conns[l.index()].insert(conn);
+        }
+        Ok(())
+    }
+
+    /// Release `conn` from every link of `route`. Links where the
+    /// connection is unknown are skipped (idempotent teardown).
+    pub fn release_route(&mut self, conn: ConnId, route: &Route) {
+        for l in &route.links {
+            let _ = self.links[l.index()].release(conn);
+            self.link_conns[l.index()].remove(&conn);
+        }
+    }
+
+    /// Set a live connection's end-to-end rate: adjusts the allocation on
+    /// every link of its route and the record's `b_current`. The rate must
+    /// lie in `[b_min, b_max]`.
+    pub fn set_conn_rate(&mut self, id: ConnId, rate: f64) -> Result<(), (LinkId, LedgerError)> {
+        let (route, b_min, b_max, old) = {
+            let c = self.get(id).expect("set_conn_rate on unknown connection");
+            (c.route.clone(), c.qos.b_min, c.qos.b_max, c.b_current)
+        };
+        assert!(
+            rate >= b_min - 1e-9 && rate <= b_max + 1e-9,
+            "rate {rate} outside [{b_min}, {b_max}]"
+        );
+        let rate = rate.clamp(b_min, b_max);
+        let mut done = 0;
+        for l in &route.links {
+            match self.links[l.index()].set_alloc(id, rate) {
+                Ok(()) => done += 1,
+                Err(e) => {
+                    for l in &route.links[..done] {
+                        self.links[l.index()]
+                            .set_alloc(id, old)
+                            .expect("rollback of rate change");
+                    }
+                    return Err((*l, e));
+                }
+            }
+        }
+        self.get_mut(id).expect("checked above").b_current = rate;
+        Ok(())
+    }
+
+    /// Tear down a live connection with the given terminal state,
+    /// releasing all its links.
+    pub fn finish(&mut self, id: ConnId, state: ConnectionState) {
+        debug_assert!(!state.is_live());
+        let route = match self.get(id) {
+            Some(c) if c.state.is_live() => c.route.clone(),
+            _ => return,
+        };
+        self.release_route(id, &route);
+        let c = self.get_mut(id).expect("checked above");
+        c.state = state;
+        c.b_current = 0.0;
+    }
+
+    /// Verify every link ledger and the link↔connection index agree; used
+    /// by integration and property tests.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (i, l) in self.links.iter().enumerate() {
+            l.check_invariants()
+                .map_err(|e| format!("link l{i}: {e}"))?;
+            let from_ledger: BTreeSet<ConnId> = l.allocs().map(|(c, _)| c).collect();
+            if from_ledger != self.link_conns[i] {
+                return Err(format!(
+                    "link l{i}: ledger conns {:?} != index {:?}",
+                    from_ledger, self.link_conns[i]
+                ));
+            }
+        }
+        for c in self.live_connections() {
+            for l in &c.route.links {
+                if self.links[l.index()].alloc(c.id).is_none() {
+                    return Err(format!("live {:?} missing from {:?}", c.id, l));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flowspec::QosRequest;
+    use crate::ids::{NodeId, PortableId};
+    use crate::routing::shortest_path;
+    use arm_sim::SimTime;
+
+    /// Two cells joined by one switch; backbone links of 10 Mbps.
+    fn two_cell_net() -> (Network, CellId, CellId) {
+        let mut t = Topology::new();
+        let sw = t.add_switch("sw");
+        let c0 = t.add_cell("c0", 1600.0, 0.0);
+        let c1 = t.add_cell("c1", 1600.0, 0.0);
+        t.add_wired_duplex(sw, t.base_station(c0), 10_000.0, 0.0);
+        t.add_wired_duplex(sw, t.base_station(c1), 10_000.0, 0.0);
+        (Network::new(t), c0, c1)
+    }
+
+    fn make_conn(net: &mut Network, cell: CellId, remote_cell: CellId, qos: QosRequest) -> ConnId {
+        let id = net.next_conn_id();
+        let route = shortest_path(
+            net.topology(),
+            net.topology().air_node(cell),
+            net.topology().air_node(remote_cell),
+        )
+        .unwrap();
+        let conn = Connection::new(
+            id,
+            PortableId(0),
+            cell,
+            NodeId(0),
+            qos,
+            route,
+            SimTime::ZERO,
+        );
+        net.install(conn);
+        id
+    }
+
+    #[test]
+    fn reserve_and_release_route() {
+        let (mut net, c0, c1) = two_cell_net();
+        let id = make_conn(&mut net, c0, c1, QosRequest::bandwidth(100.0, 400.0));
+        let route = net.get(id).unwrap().route.clone();
+        let buffers = vec![1.0; route.links.len()];
+        net.reserve_route(id, &route, 100.0, &buffers, false)
+            .unwrap();
+        assert!(net.check_invariants().is_ok());
+        let wl = net.topology().wireless_link(c0);
+        assert_eq!(net.link(wl).sum_b_min(), 100.0);
+        assert_eq!(net.conn_count_on_link(wl), 1);
+
+        net.release_route(id, &route);
+        assert_eq!(net.link(wl).sum_b_min(), 0.0);
+        assert_eq!(net.conn_count_on_link(wl), 0);
+        // release_route is mechanical; the caller records the new state
+        // before the network is consistent again.
+        net.get_mut(id).unwrap().state = ConnectionState::Terminated;
+        assert!(net.check_invariants().is_ok());
+    }
+
+    /// Install a connection with an explicit route (e.g. a local flow that
+    /// only consumes its own cell's medium).
+    fn make_conn_on_route(net: &mut Network, cell: CellId, route: Route, qos: QosRequest) -> ConnId {
+        let id = net.next_conn_id();
+        let conn = Connection::new(id, PortableId(1), cell, NodeId(0), qos, route, SimTime::ZERO);
+        net.install(conn);
+        id
+    }
+
+    /// A route consuming only the given cell's wireless medium.
+    fn local_route(net: &Network, cell: CellId) -> Route {
+        Route {
+            nodes: vec![net.topology().air_node(cell), net.topology().base_station(cell)],
+            links: vec![net.topology().wireless_link(cell)],
+        }
+    }
+
+    #[test]
+    fn reserve_rolls_back_on_failure() {
+        let (mut net, c0, c1) = two_cell_net();
+        // Fill the destination cell's medium so the last hop fails.
+        let froute = local_route(&net, c1);
+        let filler = make_conn_on_route(&mut net, c1, froute.clone(), QosRequest::fixed(1600.0));
+        net.reserve_route(filler, &froute, 1600.0, &[0.0], false)
+            .unwrap();
+
+        let id = make_conn(&mut net, c0, c1, QosRequest::fixed(100.0));
+        let route = net.get(id).unwrap().route.clone();
+        let err = net
+            .reserve_route(id, &route, 100.0, &vec![0.0; route.links.len()], false)
+            .unwrap_err();
+        assert_eq!(err.0, net.topology().wireless_link(c1));
+        // First hops were rolled back.
+        let wl0 = net.topology().wireless_link(c0);
+        assert_eq!(net.link(wl0).sum_b_min(), 0.0);
+        assert_eq!(net.conn_count_on_link(wl0), 0);
+        // The caller records the admission failure.
+        net.get_mut(id).unwrap().state = ConnectionState::Blocked;
+        assert!(net.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn rate_changes_apply_everywhere() {
+        let (mut net, c0, c1) = two_cell_net();
+        let id = make_conn(&mut net, c0, c1, QosRequest::bandwidth(100.0, 800.0));
+        let route = net.get(id).unwrap().route.clone();
+        net.reserve_route(id, &route, 100.0, &vec![0.0; route.links.len()], false)
+            .unwrap();
+        net.set_conn_rate(id, 500.0).unwrap();
+        assert_eq!(net.get(id).unwrap().b_current, 500.0);
+        for l in &route.links {
+            assert_eq!(net.link(*l).alloc(id).unwrap().b_alloc, 500.0);
+        }
+        assert!(net.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn rate_change_rolls_back_on_narrow_link() {
+        let (mut net, c0, c1) = two_cell_net();
+        let a = make_conn(&mut net, c0, c1, QosRequest::bandwidth(100.0, 1600.0));
+        let route_a = net.get(a).unwrap().route.clone();
+        net.reserve_route(a, &route_a, 100.0, &vec![0.0; route_a.links.len()], false)
+            .unwrap();
+        // A second connection inside cell 1 consumes most of that medium.
+        let route_b = local_route(&net, c1);
+        let b = make_conn_on_route(&mut net, c1, route_b.clone(), QosRequest::fixed(1400.0));
+        net.reserve_route(b, &route_b, 1400.0, &[0.0], false)
+            .unwrap();
+        // Raising a to 300 exceeds cell 1's medium (1400 + 300 > 1600).
+        let err = net.set_conn_rate(a, 300.0).unwrap_err();
+        assert_eq!(err.0, net.topology().wireless_link(c1));
+        // Rolled back to 100 everywhere.
+        assert_eq!(net.get(a).unwrap().b_current, 100.0);
+        for l in &route_a.links {
+            assert_eq!(net.link(*l).alloc(a).unwrap().b_alloc, 100.0);
+        }
+        assert!(net.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn finish_releases_and_marks() {
+        let (mut net, c0, c1) = two_cell_net();
+        let id = make_conn(&mut net, c0, c1, QosRequest::fixed(100.0));
+        let route = net.get(id).unwrap().route.clone();
+        net.reserve_route(id, &route, 100.0, &vec![0.0; route.links.len()], false)
+            .unwrap();
+        net.finish(id, ConnectionState::Terminated);
+        assert_eq!(net.get(id).unwrap().state, ConnectionState::Terminated);
+        assert_eq!(net.get(id).unwrap().b_current, 0.0);
+        assert_eq!(net.live_connections().count(), 0);
+        let wl = net.topology().wireless_link(c0);
+        assert_eq!(net.link(wl).sum_b_min(), 0.0);
+        // Idempotent.
+        net.finish(id, ConnectionState::Terminated);
+        assert!(net.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn per_cell_and_per_portable_queries() {
+        let (mut net, c0, c1) = two_cell_net();
+        let id = make_conn(&mut net, c0, c1, QosRequest::fixed(100.0));
+        let route = net.get(id).unwrap().route.clone();
+        net.reserve_route(id, &route, 100.0, &vec![0.0; route.links.len()], false)
+            .unwrap();
+        assert_eq!(net.connections_in_cell(c0).count(), 1);
+        assert_eq!(net.connections_in_cell(c1).count(), 0);
+        assert_eq!(net.connections_of_portable(PortableId(0)).count(), 1);
+        assert_eq!(net.connections_of_portable(PortableId(9)).count(), 0);
+    }
+}
+

@@ -1,0 +1,129 @@
+//! Property-based tests for link ledgers and routing.
+
+use arm_net::ids::{CellId, ConnId, NodeId};
+use arm_net::link::{LinkState, ResvClaim};
+use arm_net::routing::shortest_path;
+use arm_net::topology::Topology;
+use proptest::prelude::*;
+
+/// A random ledger operation.
+#[derive(Clone, Debug)]
+enum Op {
+    Admit { conn: u32, b_min: f64, buffer: f64 },
+    Release { conn: u32 },
+    SetAlloc { conn: u32, b: f64 },
+    SetClaim { key: u8, amount: f64 },
+    ReleaseClaim { key: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..8, 0.1f64..50.0, 0.0f64..10.0)
+            .prop_map(|(conn, b_min, buffer)| Op::Admit { conn, b_min, buffer }),
+        (0u32..8).prop_map(|conn| Op::Release { conn }),
+        (0u32..8, 0.0f64..120.0).prop_map(|(conn, b)| Op::SetAlloc { conn, b }),
+        (0u8..4, 0.0f64..80.0).prop_map(|(key, amount)| Op::SetClaim { key, amount }),
+        (0u8..4).prop_map(|key| Op::ReleaseClaim { key }),
+    ]
+}
+
+fn claim_key(k: u8) -> ResvClaim {
+    match k {
+        0 => ResvClaim::DynPool,
+        1 => ResvClaim::Cell(CellId(0)),
+        2 => ResvClaim::Cell(CellId(1)),
+        _ => ResvClaim::Conn(ConnId(99)),
+    }
+}
+
+proptest! {
+    /// No sequence of ledger operations — successful or failed — ever
+    /// breaks the ledger invariants.
+    #[test]
+    fn ledger_never_breaks_under_random_ops(ops in prop::collection::vec(op_strategy(), 0..200)) {
+        let mut l = LinkState::new(100.0).with_buffer_capacity(50.0);
+        for op in ops {
+            match op {
+                Op::Admit { conn, b_min, buffer } => {
+                    let _ = l.admit(ConnId(conn), b_min, buffer);
+                }
+                Op::Release { conn } => {
+                    let _ = l.release(ConnId(conn));
+                }
+                Op::SetAlloc { conn, b } => {
+                    let _ = l.set_alloc(ConnId(conn), b);
+                }
+                Op::SetClaim { key, amount } => {
+                    let granted = l.set_claim(claim_key(key), amount);
+                    prop_assert!(granted <= amount + 1e-9);
+                }
+                Op::ReleaseClaim { key } => {
+                    let _ = l.release_claim(claim_key(key));
+                }
+            }
+            prop_assert!(l.check_invariants().is_ok(), "{:?}", l.check_invariants());
+            // The paper's guarantee: floors plus advance reservations fit.
+            prop_assert!(l.sum_b_min() + l.b_resv() <= l.capacity() + 1e-6);
+        }
+    }
+
+    /// Admission honours the Table 2 bandwidth inequality exactly.
+    #[test]
+    fn admit_iff_table2_inequality(
+        floors in prop::collection::vec(0.1f64..40.0, 0..6),
+        resv in 0.0f64..50.0,
+        b_new in 0.1f64..120.0,
+    ) {
+        let mut l = LinkState::new(100.0);
+        let mut ok = true;
+        for (i, f) in floors.iter().enumerate() {
+            ok &= l.admit(ConnId(i as u32), *f, 0.0).is_ok();
+        }
+        prop_assume!(ok);
+        let granted = l.set_claim(ResvClaim::DynPool, resv);
+        let expect = b_new <= l.capacity() - granted - l.sum_b_min() + 1e-6;
+        prop_assert_eq!(l.admits(b_new), expect);
+        prop_assert_eq!(l.admit(ConnId(99), b_new, 0.0).is_ok(), expect);
+    }
+
+    /// On random connected graphs, Dijkstra returns hop-minimal loop-free
+    /// routes, symmetric endpoints, and never fabricates unreachable paths.
+    #[test]
+    fn routing_on_random_ring_with_chords(
+        n in 3usize..12,
+        chords in prop::collection::vec((0usize..12, 0usize..12), 0..8),
+        src in 0usize..12,
+        dst in 0usize..12,
+    ) {
+        let mut t = Topology::new();
+        let nodes: Vec<NodeId> = (0..n).map(|i| t.add_switch(format!("s{i}"))).collect();
+        for i in 0..n {
+            t.add_wired_duplex(nodes[i], nodes[(i + 1) % n], 100.0, 0.001);
+        }
+        for (a, b) in chords {
+            let (a, b) = (a % n, b % n);
+            if a != b {
+                t.add_wired_duplex(nodes[a], nodes[b], 100.0, 0.001);
+            }
+        }
+        let (src, dst) = (nodes[src % n], nodes[dst % n]);
+        let r = shortest_path(&t, src, dst).expect("ring is connected");
+        prop_assert_eq!(r.source(), src);
+        prop_assert_eq!(r.destination(), dst);
+        // Loop-free.
+        let mut seen = std::collections::HashSet::new();
+        for node in &r.nodes {
+            prop_assert!(seen.insert(*node));
+        }
+        // Hop count never exceeds the ring bound.
+        prop_assert!(r.hop_count() <= n / 2 + 1);
+        // Consecutive nodes are actually connected by the listed link.
+        for (i, l) in r.links.iter().enumerate() {
+            let from = r.nodes[i];
+            let found = t
+                .out_edges(from)
+                .any(|e| e.link == *l && e.to == r.nodes[i + 1]);
+            prop_assert!(found, "edge missing for hop {i}");
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Bounded handoff history.
+//!
+//! The profile server "maintains the following information about the last
+//! `N_pP` handoffs from each cell … for that portable" and "the last
+//! `N_pC` handoffs of the cell" (§3.4.3). [`HandoffHistory`] is the
+//! bounded FIFO both profile kinds aggregate from.
+
+use std::collections::VecDeque;
+
+use arm_net::ids::{CellId, PortableId};
+use arm_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One observed handoff: the portable moved `prev → cur → next` (where
+/// `prev` may be unknown for a portable's first movement).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HandoffEvent {
+    /// Who moved.
+    pub portable: PortableId,
+    /// The cell before the cell being left (None on first movement).
+    pub prev: Option<CellId>,
+    /// The cell being left.
+    pub cur: CellId,
+    /// The cell being entered.
+    pub next: CellId,
+    /// When.
+    pub time: SimTime,
+}
+
+/// A FIFO of the most recent `cap` handoff events.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HandoffHistory {
+    cap: usize,
+    events: VecDeque<HandoffEvent>,
+    total_recorded: u64,
+}
+
+impl HandoffHistory {
+    /// History bounded to `cap` events.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0);
+        HandoffHistory {
+            cap,
+            events: VecDeque::with_capacity(cap.min(1024)),
+            total_recorded: 0,
+        }
+    }
+
+    /// Record an event, evicting the oldest when full.
+    pub fn record(&mut self, ev: HandoffEvent) {
+        if self.events.len() == self.cap {
+            self.events.pop_front();
+        }
+        self.events.push_back(ev);
+        self.total_recorded += 1;
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &HandoffEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Is the history empty?
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Lifetime count of recorded events (including evicted ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.total_recorded
+    }
+
+    /// The retention bound.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Most common `next` cell among events matching the filter, with its
+    /// frequency (count, total-matching).
+    pub fn most_common_next<F>(&self, filter: F) -> Option<(CellId, usize, usize)>
+    where
+        F: Fn(&HandoffEvent) -> bool,
+    {
+        let mut counts: std::collections::BTreeMap<CellId, usize> = Default::default();
+        let mut total = 0;
+        for ev in self.events.iter().filter(|e| filter(e)) {
+            *counts.entry(ev.next).or_insert(0) += 1;
+            total += 1;
+        }
+        counts
+            .into_iter()
+            .max_by_key(|(c, n)| (*n, std::cmp::Reverse(*c)))
+            .map(|(c, n)| (c, n, total))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(p: u32, prev: Option<u32>, cur: u32, next: u32) -> HandoffEvent {
+        HandoffEvent {
+            portable: PortableId(p),
+            prev: prev.map(CellId),
+            cur: CellId(cur),
+            next: CellId(next),
+            time: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn fifo_eviction() {
+        let mut h = HandoffHistory::new(3);
+        for i in 0..5 {
+            h.record(ev(0, None, i, i + 1));
+        }
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.total_recorded(), 5);
+        let curs: Vec<u32> = h.events().map(|e| e.cur.0).collect();
+        assert_eq!(curs, vec![2, 3, 4]);
+        assert_eq!(h.capacity(), 3);
+    }
+
+    #[test]
+    fn most_common_next_with_filter() {
+        let mut h = HandoffHistory::new(10);
+        h.record(ev(1, Some(0), 1, 2));
+        h.record(ev(1, Some(0), 1, 2));
+        h.record(ev(1, Some(0), 1, 3));
+        h.record(ev(2, Some(0), 1, 3)); // different portable
+        let (next, n, total) = h
+            .most_common_next(|e| e.portable == PortableId(1))
+            .unwrap();
+        assert_eq!(next, CellId(2));
+        assert_eq!(n, 2);
+        assert_eq!(total, 3);
+        assert!(h.most_common_next(|e| e.portable == PortableId(9)).is_none());
+    }
+
+    #[test]
+    fn tie_break_is_deterministic() {
+        let mut h = HandoffHistory::new(10);
+        h.record(ev(1, None, 1, 5));
+        h.record(ev(1, None, 1, 3));
+        // Equal counts: the smaller cell id wins (reverse-id tiebreak).
+        let (next, _, _) = h.most_common_next(|_| true).unwrap();
+        assert_eq!(next, CellId(3));
+    }
+}

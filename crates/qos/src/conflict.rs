@@ -1,0 +1,191 @@
+//! Resource-conflict resolution (§5.2).
+//!
+//! Conflicts arise in two situations: (a) excess resources appear and
+//! must be distributed among competing connections, and (b) a new
+//! connection can be admitted within everyone's pre-negotiated lower
+//! bounds but the *currently free* excess is insufficient. Both resolve
+//! to the same operation: recompute the maxmin-fair division of each
+//! link's excess and move allocations to it — never below any
+//! connection's `b_min`, never above its `b_max`.
+//!
+//! This module is the *synchronous* resolution path used by the
+//! large-scale experiments (one call per admission/handoff/departure
+//! epoch); the message-level path is
+//! [`crate::maxmin::distributed::DistributedMaxmin`].
+
+use arm_net::ids::ConnId;
+use arm_net::{Network, PortableId};
+
+use crate::maxmin::centralized::{apply_allocation, MaxminProblem};
+
+/// Recompute the maxmin division of excess bandwidth over the whole
+/// network and apply it to every live connection. Returns the number of
+/// connections whose rate changed.
+pub fn resolve_network(net: &mut Network) -> usize {
+    let problem = MaxminProblem::from_network(net);
+    let alloc = problem.solve();
+    let before: Vec<(ConnId, f64)> = net
+        .live_connections()
+        .map(|c| (c.id, c.b_current))
+        .collect();
+    apply_allocation(net, &alloc);
+    before
+        .into_iter()
+        .filter(|(id, old)| {
+            net.get(*id)
+                .map(|c| (c.b_current - old).abs() > 1e-9)
+                .unwrap_or(false)
+        })
+        .count()
+}
+
+/// Like [`resolve_network`], but honouring the paper's static/mobile
+/// policy: connections of *mobile* portables are pinned at `b_min`
+/// (§3.4.2 — "the QoS for its connections are kept at the pre-negotiated
+/// minimum level"), so only static portables' connections compete for the
+/// excess.
+pub fn resolve_network_with_policy(
+    net: &mut Network,
+    is_static: &dyn Fn(PortableId) -> bool,
+) -> usize {
+    // Pin mobile connections at their floors first (frees excess).
+    let mobile: Vec<ConnId> = net
+        .live_connections()
+        .filter(|c| !is_static(c.portable))
+        .map(|c| c.id)
+        .collect();
+    for id in &mobile {
+        let (floor, cur) = {
+            let c = net.get(*id).expect("live connection");
+            (c.qos.b_min, c.b_current)
+        };
+        if cur > floor + 1e-9 {
+            net.set_conn_rate(*id, floor)
+                .expect("decreasing to floor always fits");
+        }
+    }
+    // Solve maxmin over static connections only.
+    let mut problem = MaxminProblem::from_network(net);
+    problem.conns.retain(|id, _| {
+        net.get(*id)
+            .map(|c| is_static(c.portable))
+            .unwrap_or(false)
+    });
+    let alloc = problem.solve();
+    let changed = alloc
+        .iter()
+        .filter(|(id, x)| {
+            net.get(**id)
+                .map(|c| (c.qos.b_min + **x - c.b_current).abs() > 1e-9)
+                .unwrap_or(false)
+        })
+        .count();
+    apply_allocation(net, &alloc);
+    changed + mobile.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arm_net::flowspec::QosRequest;
+    use arm_net::ids::{CellId, NodeId};
+    use arm_net::routing::shortest_path;
+    use arm_net::topology::Topology;
+    use arm_net::{Connection, PortableId};
+    use arm_sim::SimTime;
+
+    fn one_cell_net() -> (Network, CellId) {
+        let mut t = Topology::new();
+        let sw = t.add_switch("sw");
+        let c = t.add_cell("c", 1000.0, 0.0);
+        t.add_wired_duplex(sw, t.base_station(c), 100_000.0, 0.0);
+        (Network::new(t), c)
+    }
+
+    fn admit_local(net: &mut Network, cell: CellId, portable: u32, qos: QosRequest) -> ConnId {
+        let id = net.next_conn_id();
+        let route = shortest_path(
+            net.topology(),
+            net.topology().air_node(cell),
+            net.topology().base_station(cell),
+        )
+        .unwrap();
+        net.install(Connection::new(
+            id,
+            PortableId(portable),
+            cell,
+            NodeId(0),
+            qos,
+            route.clone(),
+            SimTime::ZERO,
+        ));
+        net.reserve_route(id, &route, qos.b_min, &vec![0.0; route.links.len()], false)
+            .unwrap();
+        id
+    }
+
+    #[test]
+    fn excess_distributed_evenly() {
+        let (mut net, cell) = one_cell_net();
+        let a = admit_local(&mut net, cell, 0, QosRequest::bandwidth(100.0, 2000.0));
+        let b = admit_local(&mut net, cell, 1, QosRequest::bandwidth(100.0, 2000.0));
+        resolve_network(&mut net);
+        // 1000 capacity, floors 200, excess 800 → 400 each → 500 each.
+        assert!((net.get(a).unwrap().b_current - 500.0).abs() < 1e-6);
+        assert!((net.get(b).unwrap().b_current - 500.0).abs() < 1e-6);
+        assert!(net.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn b_max_caps_the_share() {
+        let (mut net, cell) = one_cell_net();
+        let a = admit_local(&mut net, cell, 0, QosRequest::bandwidth(100.0, 250.0));
+        let b = admit_local(&mut net, cell, 1, QosRequest::bandwidth(100.0, 2000.0));
+        resolve_network(&mut net);
+        assert!((net.get(a).unwrap().b_current - 250.0).abs() < 1e-6);
+        // b takes the rest: 1000 − 250 = 750.
+        assert!((net.get(b).unwrap().b_current - 750.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn new_admission_squeezes_then_resolves() {
+        let (mut net, cell) = one_cell_net();
+        let a = admit_local(&mut net, cell, 0, QosRequest::bandwidth(100.0, 2000.0));
+        resolve_network(&mut net);
+        assert!((net.get(a).unwrap().b_current - 1000.0).abs() < 1e-6);
+        // Conflict case (b): floors fit but free excess is 0.
+        let b = admit_local(&mut net, cell, 1, QosRequest::bandwidth(300.0, 2000.0));
+        resolve_network(&mut net);
+        let ra = net.get(a).unwrap().b_current;
+        let rb = net.get(b).unwrap().b_current;
+        // Floors 100 + 300, excess 600. Maxmin raises both by 300:
+        // a = 400, b = 600.
+        assert!((ra - 400.0).abs() < 1e-6, "ra={ra}");
+        assert!((rb - 600.0).abs() < 1e-6, "rb={rb}");
+        assert!(net.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn mobile_portables_pinned_to_floor() {
+        let (mut net, cell) = one_cell_net();
+        let stat = admit_local(&mut net, cell, 0, QosRequest::bandwidth(100.0, 2000.0));
+        let mob = admit_local(&mut net, cell, 1, QosRequest::bandwidth(100.0, 2000.0));
+        let is_static = |p: PortableId| p == PortableId(0);
+        resolve_network_with_policy(&mut net, &is_static);
+        assert!((net.get(mob).unwrap().b_current - 100.0).abs() < 1e-9);
+        // The static portable takes all the excess: 1000 − 100 = 900.
+        assert!((net.get(stat).unwrap().b_current - 900.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn departure_redistributes() {
+        let (mut net, cell) = one_cell_net();
+        let a = admit_local(&mut net, cell, 0, QosRequest::bandwidth(100.0, 2000.0));
+        let b = admit_local(&mut net, cell, 1, QosRequest::bandwidth(100.0, 2000.0));
+        resolve_network(&mut net);
+        net.finish(b, arm_net::ConnectionState::Terminated);
+        resolve_network(&mut net);
+        assert!((net.get(a).unwrap().b_current - 1000.0).abs() < 1e-6);
+        assert!(net.check_invariants().is_ok());
+    }
+}

@@ -1,0 +1,428 @@
+//! Centralized water-filling reference solver.
+//!
+//! Computes the exact maxmin-fair allocation of excess bandwidth by
+//! progressive filling: raise every active connection's excess rate
+//! uniformly until a link saturates or a connection reaches its demand;
+//! freeze those; repeat. This is the ground truth the distributed
+//! protocol (§5.3.1, Theorem 1) must converge to, and the synchronous
+//! solver used by the large-scale experiments where simulating control
+//! packets per adaptation would dominate run time.
+
+use std::collections::BTreeMap;
+
+use arm_net::ids::{ConnId, LinkId};
+use arm_net::Network;
+
+/// A maxmin allocation problem over excess capacities and excess demands.
+///
+/// ```
+/// use arm_net::ids::{ConnId, LinkId};
+/// use arm_qos::maxmin::centralized::{ConnDemand, MaxminProblem};
+///
+/// // The classic two-link chain: a long flow crosses both links, one
+/// // cross flow per link; capacities 10 and 4.
+/// let mut p = MaxminProblem::default();
+/// p.link_excess.insert(LinkId(0), 10.0);
+/// p.link_excess.insert(LinkId(1), 4.0);
+/// p.conns.insert(ConnId(0), ConnDemand { demand: 100.0, links: vec![LinkId(0), LinkId(1)] });
+/// p.conns.insert(ConnId(1), ConnDemand { demand: 100.0, links: vec![LinkId(0)] });
+/// p.conns.insert(ConnId(2), ConnDemand { demand: 100.0, links: vec![LinkId(1)] });
+///
+/// let alloc = p.solve();
+/// assert!((alloc[&ConnId(0)] - 2.0).abs() < 1e-9); // bottlenecked on link 1
+/// assert!((alloc[&ConnId(1)] - 8.0).abs() < 1e-9); // takes link 0's slack
+/// assert!(p.verify_maxmin(&alloc).is_ok());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct MaxminProblem {
+    /// Excess capacity per link (`b'_av,l ≥ 0`).
+    pub link_excess: BTreeMap<LinkId, f64>,
+    /// Per connection: excess demand (`b_max − b_min`) and traversed links.
+    pub conns: BTreeMap<ConnId, ConnDemand>,
+}
+
+/// One connection's demand side.
+#[derive(Clone, Debug)]
+pub struct ConnDemand {
+    /// `b_max − b_min`.
+    pub demand: f64,
+    /// Links the connection traverses.
+    pub links: Vec<LinkId>,
+}
+
+/// The solved allocation: excess rate per connection.
+pub type Allocation = BTreeMap<ConnId, f64>;
+
+impl MaxminProblem {
+    /// Extract the problem from the network's current ledgers: excess
+    /// capacity from each link, demand `b_max − b_min` from each live
+    /// connection.
+    pub fn from_network(net: &Network) -> Self {
+        let mut p = MaxminProblem::default();
+        for c in net.live_connections() {
+            if c.route.links.is_empty() {
+                continue;
+            }
+            p.conns.insert(
+                c.id,
+                ConnDemand {
+                    demand: c.qos.adaptable_range(),
+                    links: c.route.links.clone(),
+                },
+            );
+        }
+        for i in 0..net.topology().link_count() {
+            let lid = LinkId::from_index(i);
+            p.link_excess
+                .insert(lid, net.link(lid).excess_available().max(0.0));
+        }
+        p
+    }
+
+    /// Solve by progressive filling. Runs in O((links + conns)²) in the
+    /// worst case, which is trivial at the scale of indoor environments.
+    pub fn solve(&self) -> Allocation {
+        let mut alloc: Allocation = self.conns.keys().map(|c| (*c, 0.0)).collect();
+        let mut active: Vec<ConnId> = self
+            .conns
+            .iter()
+            .filter(|(_, d)| d.demand > 0.0 && !d.links.is_empty())
+            .map(|(c, _)| *c)
+            .collect();
+        // Connections with zero demand are already final at 0.
+        let mut guard = self.conns.len() + self.link_excess.len() + 2;
+        while !active.is_empty() && guard > 0 {
+            guard -= 1;
+            // Headroom per link and active-connection count per link.
+            let mut headroom: BTreeMap<LinkId, (f64, usize)> = BTreeMap::new();
+            for (lid, cap) in &self.link_excess {
+                let used: f64 = self
+                    .conns
+                    .iter()
+                    .filter(|(_, d)| d.links.contains(lid))
+                    .map(|(c, _)| alloc[c])
+                    .sum();
+                let n_active = active
+                    .iter()
+                    .filter(|c| self.conns[c].links.contains(lid))
+                    .count();
+                if n_active > 0 {
+                    headroom.insert(*lid, ((cap - used).max(0.0), n_active));
+                }
+            }
+            // Largest uniform raise permitted by links and demands.
+            let link_limit = headroom
+                .values()
+                .map(|(h, n)| h / *n as f64)
+                .fold(f64::INFINITY, f64::min);
+            let demand_limit = active
+                .iter()
+                .map(|c| self.conns[c].demand - alloc[c])
+                .fold(f64::INFINITY, f64::min);
+            let inc = link_limit.min(demand_limit).max(0.0);
+            for c in &active {
+                *alloc.get_mut(c).expect("active conn in alloc") += inc;
+            }
+            // Freeze: demand met, or on a saturated link.
+            let saturated: Vec<LinkId> = headroom
+                .iter()
+                .filter(|(_, (h, n))| h / *n as f64 <= inc + 1e-12)
+                .map(|(l, _)| *l)
+                .collect();
+            let before = active.len();
+            active.retain(|c| {
+                let d = &self.conns[c];
+                let demand_met = alloc[c] >= d.demand - 1e-12;
+                let on_saturated = d.links.iter().any(|l| saturated.contains(l));
+                !(demand_met || on_saturated)
+            });
+            if active.len() == before {
+                // No progress is only possible when inc == 0 on links with
+                // zero headroom, which the saturated rule catches; guard
+                // against float pathologies anyway.
+                break;
+            }
+        }
+        alloc
+    }
+
+    /// Is `link` a *connection bottleneck* for `conn` under `alloc`
+    /// (§5.2): the link minimising the excess bandwidth available to the
+    /// connection along its path, while the connection is unsatisfied?
+    pub fn is_connection_bottleneck(
+        &self,
+        alloc: &Allocation,
+        conn: ConnId,
+        link: LinkId,
+    ) -> bool {
+        let d = match self.conns.get(&conn) {
+            Some(d) => d,
+            None => return false,
+        };
+        if !d.links.contains(&link) {
+            return false;
+        }
+        let avail = |l: &LinkId| self.available_to(alloc, conn, *l);
+        let min = d.links.iter().map(avail).fold(f64::INFINITY, f64::min);
+        (avail(&link) - min).abs() < 1e-9
+    }
+
+    /// Excess bandwidth available to `conn` at `link`: the link's
+    /// remaining headroom plus what the connection already holds there.
+    pub fn available_to(&self, alloc: &Allocation, conn: ConnId, link: LinkId) -> f64 {
+        let cap = self.link_excess.get(&link).copied().unwrap_or(0.0);
+        let used: f64 = self
+            .conns
+            .iter()
+            .filter(|(_, d)| d.links.contains(&link))
+            .map(|(c, _)| alloc.get(c).copied().unwrap_or(0.0))
+            .sum();
+        let own = alloc.get(&conn).copied().unwrap_or(0.0);
+        cap - used + own
+    }
+
+    /// Verify that `alloc` satisfies the maxmin optimality criterion:
+    /// feasibility, demand caps, and the no-improvement property (any
+    /// unsatisfied connection has a saturated link where every other
+    /// connection holding more is itself above it). Returns a description
+    /// of the first violation.
+    pub fn verify_maxmin(&self, alloc: &Allocation) -> Result<(), String> {
+        // Feasibility per link.
+        for (lid, cap) in &self.link_excess {
+            let used: f64 = self
+                .conns
+                .iter()
+                .filter(|(_, d)| d.links.contains(lid))
+                .map(|(c, _)| alloc.get(c).copied().unwrap_or(0.0))
+                .sum();
+            if used > cap + 1e-6 {
+                return Err(format!("{lid:?} overloaded: {used} > {cap}"));
+            }
+        }
+        // Demand caps and nonnegativity.
+        for (c, d) in &self.conns {
+            let x = alloc.get(c).copied().unwrap_or(0.0);
+            if x < -1e-9 {
+                return Err(format!("{c:?} negative rate {x}"));
+            }
+            if x > d.demand + 1e-6 {
+                return Err(format!("{c:?} above demand: {x} > {}", d.demand));
+            }
+        }
+        // Maxmin property: an unsatisfied connection must sit on a
+        // bottleneck — a saturated link where no connection with a larger
+        // allocation could yield to it.
+        for (c, d) in &self.conns {
+            let x = alloc.get(c).copied().unwrap_or(0.0);
+            if x >= d.demand - 1e-6 {
+                continue; // satisfied
+            }
+            let has_bottleneck = d.links.iter().any(|lid| {
+                let cap = self.link_excess.get(lid).copied().unwrap_or(0.0);
+                let used: f64 = self
+                    .conns
+                    .iter()
+                    .filter(|(_, dd)| dd.links.contains(lid))
+                    .map(|(cc, _)| alloc.get(cc).copied().unwrap_or(0.0))
+                    .sum();
+                let saturated = used >= cap - 1e-6;
+                let is_max_holder = self
+                    .conns
+                    .iter()
+                    .filter(|(_, dd)| dd.links.contains(lid))
+                    .all(|(cc, _)| alloc.get(cc).copied().unwrap_or(0.0) <= x + 1e-6);
+                saturated && is_max_holder
+            });
+            if !has_bottleneck {
+                return Err(format!(
+                    "{c:?} unsatisfied at {x} but has no bottleneck link"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Apply a solved allocation to the network ledgers: every live
+/// connection's rate becomes `b_min + excess`. Decreases are applied
+/// first so increases always fit.
+pub fn apply_allocation(net: &mut Network, alloc: &Allocation) {
+    let mut changes: Vec<(ConnId, f64)> = Vec::new();
+    for c in net.live_connections() {
+        if let Some(x) = alloc.get(&c.id) {
+            let target = (c.qos.b_min + x).clamp(c.qos.b_min, c.qos.b_max);
+            if (target - c.b_current).abs() > 1e-9 {
+                changes.push((c.id, target));
+            }
+        }
+    }
+    // Decreases first.
+    changes.sort_by(|a, b| {
+        let da = a.1 - net.get(a.0).map(|c| c.b_current).unwrap_or(0.0);
+        let db = b.1 - net.get(b.0).map(|c| c.b_current).unwrap_or(0.0);
+        da.partial_cmp(&db).expect("no NaN rates")
+    });
+    for (id, target) in changes {
+        net.set_conn_rate(id, target)
+            .expect("maxmin allocation is feasible");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lid(i: u32) -> LinkId {
+        LinkId(i)
+    }
+    fn cid(i: u32) -> ConnId {
+        ConnId(i)
+    }
+
+    fn problem(links: &[(u32, f64)], conns: &[(u32, f64, &[u32])]) -> MaxminProblem {
+        let mut p = MaxminProblem::default();
+        for (l, cap) in links {
+            p.link_excess.insert(lid(*l), *cap);
+        }
+        for (c, demand, ls) in conns {
+            p.conns.insert(
+                cid(*c),
+                ConnDemand {
+                    demand: *demand,
+                    links: ls.iter().map(|l| lid(*l)).collect(),
+                },
+            );
+        }
+        p
+    }
+
+    #[test]
+    fn single_link_even_split() {
+        let p = problem(&[(0, 30.0)], &[(0, 100.0, &[0]), (1, 100.0, &[0]), (2, 100.0, &[0])]);
+        let a = p.solve();
+        for c in 0..3 {
+            assert!((a[&cid(c)] - 10.0).abs() < 1e-9);
+        }
+        assert!(p.verify_maxmin(&a).is_ok());
+    }
+
+    #[test]
+    fn small_demand_frees_share_for_others() {
+        let p = problem(&[(0, 30.0)], &[(0, 4.0, &[0]), (1, 100.0, &[0]), (2, 100.0, &[0])]);
+        let a = p.solve();
+        assert!((a[&cid(0)] - 4.0).abs() < 1e-9);
+        assert!((a[&cid(1)] - 13.0).abs() < 1e-9);
+        assert!((a[&cid(2)] - 13.0).abs() < 1e-9);
+        assert!(p.verify_maxmin(&a).is_ok());
+    }
+
+    #[test]
+    fn classic_linear_network() {
+        // The canonical 2-link example: conn 0 crosses both links,
+        // conn 1 uses link 0, conn 2 uses link 1. Capacities 10 and 4.
+        // Maxmin: conn 0 gets 2 (bottleneck link 1), conn 2 gets 2,
+        // conn 1 gets 8.
+        let p = problem(
+            &[(0, 10.0), (1, 4.0)],
+            &[(0, 100.0, &[0, 1]), (1, 100.0, &[0]), (2, 100.0, &[1])],
+        );
+        let a = p.solve();
+        assert!((a[&cid(0)] - 2.0).abs() < 1e-9, "{a:?}");
+        assert!((a[&cid(1)] - 8.0).abs() < 1e-9, "{a:?}");
+        assert!((a[&cid(2)] - 2.0).abs() < 1e-9, "{a:?}");
+        assert!(p.verify_maxmin(&a).is_ok());
+        // Link 1 is a connection bottleneck for conn 0. (Link 0 is too:
+        // conn 1 absorbs all slack there, leaving conn 0 exactly its
+        // share — both links bind at the optimum.)
+        assert!(p.is_connection_bottleneck(&a, cid(0), lid(1)));
+        assert!(p.is_connection_bottleneck(&a, cid(0), lid(0)));
+    }
+
+    #[test]
+    fn non_bottleneck_link_detected_with_finite_demands() {
+        // Conn 1 wants only 5 on the 12-capacity link 0, so link 0 keeps
+        // headroom and is NOT conn 0's bottleneck; link 1 (capacity 4) is.
+        let p = problem(
+            &[(0, 12.0), (1, 4.0)],
+            &[(0, 100.0, &[0, 1]), (1, 5.0, &[0]), (2, 100.0, &[1])],
+        );
+        let a = p.solve();
+        assert!((a[&cid(0)] - 2.0).abs() < 1e-9, "{a:?}");
+        assert!((a[&cid(1)] - 5.0).abs() < 1e-9);
+        assert!((a[&cid(2)] - 2.0).abs() < 1e-9);
+        assert!(p.verify_maxmin(&a).is_ok());
+        assert!(p.is_connection_bottleneck(&a, cid(0), lid(1)));
+        assert!(!p.is_connection_bottleneck(&a, cid(0), lid(0)));
+        // A link the connection doesn't traverse is never its bottleneck.
+        assert!(!p.is_connection_bottleneck(&a, cid(1), lid(1)));
+    }
+
+    #[test]
+    fn zero_demand_connections_stay_zero() {
+        let p = problem(&[(0, 30.0)], &[(0, 0.0, &[0]), (1, 100.0, &[0])]);
+        let a = p.solve();
+        assert_eq!(a[&cid(0)], 0.0);
+        assert!((a[&cid(1)] - 30.0).abs() < 1e-9);
+        assert!(p.verify_maxmin(&a).is_ok());
+    }
+
+    #[test]
+    fn zero_capacity_link_starves_its_connections() {
+        let p = problem(
+            &[(0, 0.0), (1, 10.0)],
+            &[(0, 100.0, &[0, 1]), (1, 100.0, &[1])],
+        );
+        let a = p.solve();
+        assert_eq!(a[&cid(0)], 0.0);
+        assert!((a[&cid(1)] - 10.0).abs() < 1e-9);
+        assert!(p.verify_maxmin(&a).is_ok());
+    }
+
+    #[test]
+    fn empty_problem_solves() {
+        let p = MaxminProblem::default();
+        assert!(p.solve().is_empty());
+        assert!(p.verify_maxmin(&BTreeMap::new()).is_ok());
+    }
+
+    #[test]
+    fn verify_catches_violations() {
+        let p = problem(&[(0, 10.0)], &[(0, 100.0, &[0]), (1, 100.0, &[0])]);
+        // Overload.
+        let mut bad: Allocation = BTreeMap::new();
+        bad.insert(cid(0), 8.0);
+        bad.insert(cid(1), 8.0);
+        assert!(p.verify_maxmin(&bad).is_err());
+        // Feasible but unfair (0 could take from 1's slack? no — link
+        // saturated by a *larger* holder ⇒ not maxmin).
+        let mut unfair: Allocation = BTreeMap::new();
+        unfair.insert(cid(0), 2.0);
+        unfair.insert(cid(1), 8.0);
+        assert!(p.verify_maxmin(&unfair).is_err());
+        // The true optimum passes.
+        let good = p.solve();
+        assert!(p.verify_maxmin(&good).is_ok());
+    }
+
+    #[test]
+    fn mesh_with_three_bottlenecks() {
+        // Three links in a chain, four connections with mixed spans.
+        let p = problem(
+            &[(0, 12.0), (1, 6.0), (2, 9.0)],
+            &[
+                (0, 100.0, &[0, 1, 2]),
+                (1, 100.0, &[0]),
+                (2, 100.0, &[1]),
+                (3, 100.0, &[2]),
+            ],
+        );
+        let a = p.solve();
+        assert!(p.verify_maxmin(&a).is_ok());
+        // Conn 0 is limited by link 1: share 3. Then conn 2 also 3;
+        // conn 1 gets 9; conn 3 gets 6.
+        assert!((a[&cid(0)] - 3.0).abs() < 1e-9, "{a:?}");
+        assert!((a[&cid(2)] - 3.0).abs() < 1e-9);
+        assert!((a[&cid(1)] - 9.0).abs() < 1e-9);
+        assert!((a[&cid(3)] - 6.0).abs() < 1e-9);
+    }
+}

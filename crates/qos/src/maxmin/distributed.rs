@@ -1,0 +1,1002 @@
+//! The event-driven distributed rate-allocation protocol (§5.3.1).
+//!
+//! Adapted from Charny/Clark/Jain's explicit-rate congestion-control
+//! scheme \[8\], re-cast by the paper as an *event-driven* protocol that
+//! initiates adaptation "upon handoffs and dynamically changing network
+//! capacities" rather than periodically.
+//!
+//! Mechanics implemented here, per the paper's description:
+//!
+//! * every link keeps **recorded rates** (last stamped rate fixed for
+//!   each of its connections) and derives its **advertised rate** from
+//!   them; the rate quoted *to* a connection is computed "under the
+//!   assumption that this switch is a bottleneck for this connection"
+//!   (the subject is never classified restricted —
+//!   [`advertised_rate_for`]),
+//! * a switch detecting a bandwidth change **initiates two ADVERTISE
+//!   packets per affected connection** (upstream + downstream); each
+//!   carries a **stamped rate** that every link on the path clamps down
+//!   to its own advertised rate, and each is forwarded back to the
+//!   initiator from the source/destination,
+//! * the initiator repeats the round trip — **four round trips** per the
+//!   paper's convergence argument — then emits **UPDATE** packets fixing
+//!   the connection's rate to the minimum of the two latest returned
+//!   stamped rates,
+//! * **`M(l)` maintenance**: a link adds the connection to its bottleneck
+//!   set when the stamp was clamped at this link (`μ_l < b_stamp`) and
+//!   removes it when the stamp arrived already lower (`μ_l > b_stamp`),
+//! * **secondary initiations**: when a link's advertised rate moves, it
+//!   initiates ADVERTISE processes for other connections — *all* of them
+//!   in the [`Variant::Flooding`] base version; only those that can
+//!   actually change (the bottlenecked set on upgrades, the
+//!   over-consuming set on downgrades) in the [`Variant::Refined`]
+//!   version.
+//!
+//! ## Serialization of adaptation processes
+//!
+//! The paper equips ADVERTISE packets with "a global ID and a sequence
+//! number … to avoid possible infinite loop due to the flooding
+//! mechanism", without spelling the mechanism out. We realise that
+//! ordering requirement by serialising adaptation processes: one
+//! (initiator, connection) session's packets are in flight at a time,
+//! and further initiations queue FIFO. In a deterministic simulator this
+//! is not merely convenient — fully concurrent sessions can lock into a
+//! sustained oscillation (two sessions repeatedly observing each other's
+//! optimistic transients at exactly the same virtual instants), which is
+//! an artifact no real network with jittered latencies would exhibit.
+//! Serialised, the protocol is a Gauss–Seidel iteration on the maxmin
+//! fixed point and converges; Theorem 1's claim — convergence to the
+//! maxmin optimum in finitely many steps — is asserted against the
+//! centralized solver in this module's tests.
+//!
+//! The protocol is control-plane only: it converges on an excess rate per
+//! connection ([`DistributedMaxmin::rates`]), which the caller applies to
+//! the ledgers (see [`crate::maxmin::centralized::apply_allocation`]).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use arm_net::ids::{ConnId, LinkId};
+use arm_sim::engine::{Ctx, Model};
+use arm_sim::SimDuration;
+
+use super::advertised::advertised_rate_for;
+
+/// Rate agreement tolerance: changes smaller than this don't trigger
+/// further control traffic (prevents float-noise loops).
+const TOL: f64 = 1e-7;
+
+/// Base (flooding) algorithm or the `M(l)`-restricted refinement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Variant {
+    /// "Essentially floods the network with ADVERTISE packets."
+    Flooding,
+    /// Initiates only toward connections that can actually change.
+    Refined,
+}
+
+/// Direction of travel along a connection's route (index order).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Dir {
+    /// Toward route index 0 (the source).
+    Up,
+    /// Toward the last route index (the destination).
+    Down,
+}
+
+/// Leg of the round trip.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Leg {
+    /// Outbound from the initiator toward the end of the route.
+    Out,
+    /// Bouncing back toward the initiator.
+    Back,
+}
+
+/// An in-flight control packet.
+#[derive(Clone, Debug)]
+pub struct Packet {
+    conn: ConnId,
+    /// Stamped rate (excess kbps).
+    stamped: f64,
+    /// Index into the connection's link list the packet is delivered at.
+    pos: usize,
+    dir: Dir,
+    leg: Leg,
+    origin: LinkId,
+    /// Global id of the adaptation process this packet belongs to.
+    gid: u64,
+    is_update: bool,
+}
+
+/// Protocol events.
+#[derive(Clone, Debug)]
+pub enum Ev {
+    /// Deliver a control packet to the link at its `pos`.
+    Deliver(Packet),
+    /// A link's excess capacity changed (wireless fade, handoff,
+    /// admission, departure).
+    ChangeExcess {
+        /// Affected link.
+        link: LinkId,
+        /// New excess capacity `b'_av,l`.
+        excess: f64,
+    },
+}
+
+/// Per-link control state.
+#[derive(Clone, Debug, Default)]
+struct LinkCtl {
+    excess: f64,
+    conns: BTreeSet<ConnId>,
+    /// Last fixed (UPDATEd) stamped rate per connection.
+    recorded: BTreeMap<ConnId, f64>,
+    /// `M(l)`: connections that consider this link their bottleneck.
+    bottleneck_set: BTreeSet<ConnId>,
+}
+
+impl LinkCtl {
+    /// The rate this link quotes to `subject` (treated as unrestricted).
+    fn mu_for(&self, subject: ConnId) -> f64 {
+        let others: Vec<f64> = self
+            .conns
+            .iter()
+            .filter(|c| **c != subject)
+            .map(|c| self.recorded.get(c).copied().unwrap_or(0.0))
+            .collect();
+        advertised_rate_for(self.excess, &others)
+    }
+}
+
+/// One four-round-trip adaptation process.
+#[derive(Clone, Debug)]
+struct Session {
+    origin: LinkId,
+    conn: ConnId,
+    phase: u32,
+    up_returned: Option<f64>,
+    down_returned: Option<f64>,
+    gid: u64,
+}
+
+/// Per-connection control state.
+#[derive(Clone, Debug)]
+struct ConnCtl {
+    links: Vec<LinkId>,
+    demand: f64,
+}
+
+/// Counters for the flooding-vs-refined overhead comparison.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProtocolStats {
+    /// ADVERTISE packet hop deliveries.
+    pub advertise_hops: u64,
+    /// UPDATE packet hop deliveries.
+    pub update_hops: u64,
+    /// Adaptation processes run.
+    pub sessions: u64,
+}
+
+/// The protocol state machine; drive it with [`arm_sim::Engine`].
+#[derive(Clone, Debug)]
+pub struct DistributedMaxmin {
+    variant: Variant,
+    hop_latency: SimDuration,
+    links: BTreeMap<LinkId, LinkCtl>,
+    conns: BTreeMap<ConnId, ConnCtl>,
+    /// The one process whose packets are in flight.
+    active: Option<Session>,
+    /// FIFO of processes waiting their turn (deduplicated).
+    pending: VecDeque<(LinkId, ConnId)>,
+    pending_set: BTreeSet<(LinkId, ConnId)>,
+    /// A wake-up arrived for the active session; rerun it on completion.
+    active_restart: bool,
+    /// Source-visible converged excess rate per connection.
+    rates: BTreeMap<ConnId, f64>,
+    next_gid: u64,
+    stats: ProtocolStats,
+}
+
+impl DistributedMaxmin {
+    /// A protocol instance with the given variant and per-hop control
+    /// latency.
+    pub fn new(variant: Variant, hop_latency: SimDuration) -> Self {
+        DistributedMaxmin {
+            variant,
+            hop_latency,
+            links: BTreeMap::new(),
+            conns: BTreeMap::new(),
+            active: None,
+            pending: VecDeque::new(),
+            pending_set: BTreeSet::new(),
+            active_restart: false,
+            rates: BTreeMap::new(),
+            next_gid: 0,
+            stats: ProtocolStats::default(),
+        }
+    }
+
+    /// Declare a link and its initial excess capacity.
+    pub fn add_link(&mut self, link: LinkId, excess: f64) {
+        self.links.entry(link).or_default().excess = excess.max(0.0);
+    }
+
+    /// Register a connection with its route (link sequence) and excess
+    /// demand `b_max − b_min`. Its initial recorded rate is 0 everywhere.
+    pub fn add_conn(&mut self, conn: ConnId, links: Vec<LinkId>, demand: f64) {
+        for l in &links {
+            let ctl = self.links.entry(*l).or_default();
+            ctl.conns.insert(conn);
+            ctl.recorded.insert(conn, 0.0);
+        }
+        self.conns.insert(
+            conn,
+            ConnCtl {
+                links,
+                demand: demand.max(0.0),
+            },
+        );
+        self.rates.insert(conn, 0.0);
+    }
+
+    /// Remove a connection (termination or handoff away).
+    pub fn remove_conn(&mut self, conn: ConnId) {
+        if let Some(c) = self.conns.remove(&conn) {
+            for l in &c.links {
+                if let Some(ctl) = self.links.get_mut(l) {
+                    ctl.conns.remove(&conn);
+                    ctl.recorded.remove(&conn);
+                    ctl.bottleneck_set.remove(&conn);
+                }
+            }
+        }
+        self.rates.remove(&conn);
+        self.pending.retain(|(_, c)| *c != conn);
+        self.pending_set.retain(|(_, c)| *c != conn);
+        // An active session for the connection drains harmlessly: its
+        // packets find the session gone and are dropped; the next event
+        // (or an explicit ChangeExcess from the caller) resumes the queue.
+        if self.active.as_ref().map(|s| s.conn) == Some(conn) {
+            self.active = None;
+            self.active_restart = false;
+        }
+    }
+
+    /// Converged excess rates (meaningful once the event queue drains).
+    pub fn rates(&self) -> &BTreeMap<ConnId, f64> {
+        &self.rates
+    }
+
+    /// Message/session counters.
+    pub fn stats(&self) -> ProtocolStats {
+        self.stats
+    }
+
+    /// The rate `link` currently quotes to `conn`.
+    pub fn link_mu_for(&self, link: LinkId, conn: ConnId) -> f64 {
+        self.links
+            .get(&link)
+            .map(|l| l.mu_for(conn))
+            .unwrap_or(0.0)
+    }
+
+    /// Current `M(l)` of a link.
+    pub fn bottleneck_set(&self, link: LinkId) -> Vec<ConnId> {
+        self.links
+            .get(&link)
+            .map(|l| l.bottleneck_set.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Is the protocol quiescent (no process active or queued)?
+    pub fn is_quiescent(&self) -> bool {
+        self.active.is_none() && self.pending.is_empty()
+    }
+
+    // ------------------------------------------------------------------
+    // Process scheduling
+    // ------------------------------------------------------------------
+
+    /// Request an adaptation process for `conn` initiated at `origin`.
+    fn request_session(&mut self, origin: LinkId, conn: ConnId, ctx: &mut Ctx<'_, Ev>) {
+        let key = (origin, conn);
+        if let Some(active) = &self.active {
+            if (active.origin, active.conn) == key {
+                // Don't disturb the in-flight process; rerun afterwards.
+                self.active_restart = true;
+                return;
+            }
+        }
+        if self.pending_set.insert(key) {
+            self.pending.push_back(key);
+        }
+        self.maybe_activate(ctx);
+    }
+
+    /// Start the next queued process if none is active.
+    fn maybe_activate(&mut self, ctx: &mut Ctx<'_, Ev>) {
+        if self.active.is_some() {
+            return;
+        }
+        while let Some((origin, conn)) = self.pending.pop_front() {
+            self.pending_set.remove(&(origin, conn));
+            // Skip stale requests for gone connections or detached pairs.
+            let valid = self
+                .conns
+                .get(&conn)
+                .map(|c| c.links.contains(&origin))
+                .unwrap_or(false);
+            if !valid {
+                continue;
+            }
+            let gid = self.next_gid;
+            self.next_gid += 1;
+            self.stats.sessions += 1;
+            self.active = Some(Session {
+                origin,
+                conn,
+                phase: 1,
+                up_returned: None,
+                down_returned: None,
+                gid,
+            });
+            self.active_restart = false;
+            self.launch_phase(ctx);
+            return;
+        }
+    }
+
+    /// Send the two ADVERTISE packets of the active session's phase.
+    fn launch_phase(&mut self, ctx: &mut Ctx<'_, Ev>) {
+        let (origin, conn, gid) = {
+            let s = self.active.as_ref().expect("launch with active session");
+            (s.origin, s.conn, s.gid)
+        };
+        let cctl = self.conns.get(&conn).expect("validated at activation");
+        let pos = cctl
+            .links
+            .iter()
+            .position(|l| *l == origin)
+            .expect("validated at activation");
+        let n = cctl.links.len();
+        // The initiator stamps its own quote for the connection, capped
+        // by the connection's residual demand (the paper's artificial
+        // `b_max` entry link).
+        let stamped = self.links[&origin].mu_for(conn).min(cctl.demand);
+        let up = Packet {
+            conn,
+            stamped,
+            pos,
+            dir: Dir::Up,
+            leg: if pos == 0 { Leg::Back } else { Leg::Out },
+            origin,
+            gid,
+            is_update: false,
+        };
+        let down = Packet {
+            conn,
+            stamped,
+            pos,
+            dir: Dir::Down,
+            leg: if pos + 1 == n { Leg::Back } else { Leg::Out },
+            origin,
+            gid,
+            is_update: false,
+        };
+        ctx.schedule_after(self.hop_latency, Ev::Deliver(up));
+        ctx.schedule_after(self.hop_latency, Ev::Deliver(down));
+    }
+
+    // ------------------------------------------------------------------
+    // Packet processing
+    // ------------------------------------------------------------------
+
+    fn process_advertise(&mut self, mut pkt: Packet, ctx: &mut Ctx<'_, Ev>) {
+        self.stats.advertise_hops += 1;
+        // Stale packets of finished/cancelled processes are dropped.
+        let live = self
+            .active
+            .as_ref()
+            .map(|s| s.gid == pkt.gid)
+            .unwrap_or(false);
+        if !live {
+            self.maybe_activate(ctx);
+            return;
+        }
+        let cctl = match self.conns.get(&pkt.conn) {
+            Some(c) => c.clone(),
+            None => {
+                self.maybe_activate(ctx);
+                return;
+            }
+        };
+        let lid = cctl.links[pkt.pos];
+        {
+            let ctl = self.links.get_mut(&lid).expect("link registered");
+            let mu = ctl.mu_for(pkt.conn);
+            // `M(l)` maintenance: add j if μ_l ≤ b_stamp (this link binds
+            // the connection), remove j if μ_l > b_stamp (it is clamped
+            // harder elsewhere).
+            if mu <= pkt.stamped + TOL {
+                ctl.bottleneck_set.insert(pkt.conn);
+            } else {
+                ctl.bottleneck_set.remove(&pkt.conn);
+            }
+            // Clamp the stamped rate down to the advertised rate.
+            if pkt.stamped >= mu {
+                pkt.stamped = mu;
+            }
+        }
+        self.forward(pkt, &cctl, ctx);
+    }
+
+    fn forward(&mut self, mut pkt: Packet, cctl: &ConnCtl, ctx: &mut Ctx<'_, Ev>) {
+        let n = cctl.links.len();
+        let origin_pos = cctl
+            .links
+            .iter()
+            .position(|l| *l == pkt.origin)
+            .unwrap_or(0);
+        match (pkt.leg, pkt.dir) {
+            (Leg::Out, Dir::Up) => {
+                if pkt.pos == 0 {
+                    // Bounced at the source; head back to the initiator.
+                    pkt.leg = Leg::Back;
+                    if pkt.pos == origin_pos {
+                        self.arrive_back(pkt, ctx);
+                    } else {
+                        pkt.pos += 1;
+                        ctx.schedule_after(self.hop_latency, Ev::Deliver(pkt));
+                    }
+                } else {
+                    pkt.pos -= 1;
+                    ctx.schedule_after(self.hop_latency, Ev::Deliver(pkt));
+                }
+            }
+            (Leg::Out, Dir::Down) => {
+                if pkt.pos + 1 == n {
+                    pkt.leg = Leg::Back;
+                    if pkt.pos == origin_pos {
+                        self.arrive_back(pkt, ctx);
+                    } else {
+                        pkt.pos -= 1;
+                        ctx.schedule_after(self.hop_latency, Ev::Deliver(pkt));
+                    }
+                } else {
+                    pkt.pos += 1;
+                    ctx.schedule_after(self.hop_latency, Ev::Deliver(pkt));
+                }
+            }
+            (Leg::Back, Dir::Up) => {
+                if pkt.pos >= origin_pos {
+                    self.arrive_back(pkt, ctx);
+                } else {
+                    pkt.pos += 1;
+                    ctx.schedule_after(self.hop_latency, Ev::Deliver(pkt));
+                }
+            }
+            (Leg::Back, Dir::Down) => {
+                if pkt.pos <= origin_pos {
+                    self.arrive_back(pkt, ctx);
+                } else {
+                    pkt.pos -= 1;
+                    ctx.schedule_after(self.hop_latency, Ev::Deliver(pkt));
+                }
+            }
+        }
+    }
+
+    /// A returned ADVERTISE reaches its initiator.
+    fn arrive_back(&mut self, pkt: Packet, ctx: &mut Ctx<'_, Ev>) {
+        let session = match &mut self.active {
+            Some(s) if s.gid == pkt.gid => s,
+            _ => return,
+        };
+        match pkt.dir {
+            Dir::Up => session.up_returned = Some(pkt.stamped),
+            Dir::Down => session.down_returned = Some(pkt.stamped),
+        }
+        if let (Some(u), Some(d)) = (session.up_returned, session.down_returned) {
+            if session.phase < 4 {
+                session.phase += 1;
+                session.up_returned = None;
+                session.down_returned = None;
+                self.launch_phase(ctx);
+            } else {
+                let (origin, conn) = (session.origin, session.conn);
+                let rate = u.min(d);
+                self.active = None;
+                self.complete_session(origin, conn, rate, ctx);
+            }
+        }
+    }
+
+    /// Fix the converged rate: update every link's recorded rate, emit
+    /// UPDATE packets, wake affected connections, start the next process.
+    fn complete_session(
+        &mut self,
+        origin: LinkId,
+        conn: ConnId,
+        rate: f64,
+        ctx: &mut Ctx<'_, Ev>,
+    ) {
+        let cctl = match self.conns.get(&conn) {
+            Some(c) => c.clone(),
+            None => {
+                self.maybe_activate(ctx);
+                return;
+            }
+        };
+        let old_rate = self.rates.insert(conn, rate).unwrap_or(0.0);
+        // Synchronously fix the recorded rates (the UPDATE packets below
+        // carry the same value; any switch receiving UPDATE and ADVERTISE
+        // simultaneously acts on the UPDATE first — trivially satisfied).
+        let changed = (rate - old_rate).abs() > TOL;
+        for l in &cctl.links {
+            let ctl = self.links.get_mut(l).expect("link registered");
+            ctl.recorded.insert(conn, rate);
+        }
+        if changed {
+            // UPDATE packets for accounting and latency realism.
+            self.send_updates(origin, conn, rate, ctx);
+            // Wake-ups per the variant's policy on every link the rate
+            // change touched.
+            for l in cctl.links.clone() {
+                self.wake_inconsistent(l, Some(conn), ctx);
+            }
+        }
+        // Honour wake-ups that arrived while this process was in flight.
+        if self.active_restart {
+            self.active_restart = false;
+            let want = self.links[&origin].mu_for(conn).min(cctl.demand);
+            if (rate - want).abs() > TOL {
+                self.request_session(origin, conn, ctx);
+            }
+        }
+        self.maybe_activate(ctx);
+    }
+
+    /// Initiate processes toward the connections at `lid` the variant's
+    /// policy selects after a state change there: all of them under
+    /// flooding; under the refinement only those whose rate can actually
+    /// change — the bottlenecked set that could take more (the paper's
+    /// `M(l)` upgrade targets) and the over-consumers that must shrink.
+    fn wake_inconsistent(&mut self, lid: LinkId, exclude: Option<ConnId>, ctx: &mut Ctx<'_, Ev>) {
+        let ctl = match self.links.get(&lid) {
+            Some(c) => c,
+            None => return,
+        };
+        let candidates: Vec<ConnId> = match self.variant {
+            Variant::Flooding => ctl.conns.iter().copied().collect(),
+            Variant::Refined => ctl
+                .conns
+                .iter()
+                .filter(|c| {
+                    let r = ctl.recorded.get(c).copied().unwrap_or(0.0);
+                    let demand = self.conns.get(c).map(|cc| cc.demand).unwrap_or(0.0);
+                    let mu = ctl.mu_for(**c);
+                    (r < mu - TOL && r < demand - TOL) || r > mu + TOL
+                })
+                .copied()
+                .collect(),
+        };
+        for t in candidates {
+            if Some(t) != exclude {
+                self.request_session(lid, t, ctx);
+            }
+        }
+    }
+
+    /// Emit UPDATE packets fixing `conn`'s rate along its whole route.
+    fn send_updates(&mut self, origin: LinkId, conn: ConnId, rate: f64, ctx: &mut Ctx<'_, Ev>) {
+        let cctl = match self.conns.get(&conn) {
+            Some(c) => c.clone(),
+            None => return,
+        };
+        let pos = match cctl.links.iter().position(|l| *l == origin) {
+            Some(p) => p,
+            None => return,
+        };
+        let gid = self.next_gid;
+        self.next_gid += 1;
+        let n = cctl.links.len();
+        if pos > 0 {
+            ctx.schedule_after(
+                self.hop_latency,
+                Ev::Deliver(Packet {
+                    conn,
+                    stamped: rate,
+                    pos: pos - 1,
+                    dir: Dir::Up,
+                    leg: Leg::Out,
+                    origin,
+                    gid,
+                    is_update: true,
+                }),
+            );
+        }
+        if pos + 1 < n {
+            ctx.schedule_after(
+                self.hop_latency,
+                Ev::Deliver(Packet {
+                    conn,
+                    stamped: rate,
+                    pos: pos + 1,
+                    dir: Dir::Down,
+                    leg: Leg::Out,
+                    origin,
+                    gid,
+                    is_update: true,
+                }),
+            );
+        }
+    }
+
+    fn process_update(&mut self, mut pkt: Packet, ctx: &mut Ctx<'_, Ev>) {
+        self.stats.update_hops += 1;
+        let cctl = match self.conns.get(&pkt.conn) {
+            Some(c) => c.clone(),
+            None => return,
+        };
+        // Recording is idempotent (complete_session already fixed it);
+        // the packet exists for overhead accounting and latency realism.
+        let lid = cctl.links[pkt.pos];
+        if let Some(ctl) = self.links.get_mut(&lid) {
+            ctl.recorded.insert(pkt.conn, pkt.stamped);
+        }
+        match pkt.dir {
+            Dir::Up if pkt.pos > 0 => {
+                pkt.pos -= 1;
+                ctx.schedule_after(self.hop_latency, Ev::Deliver(pkt));
+            }
+            Dir::Down if pkt.pos + 1 < cctl.links.len() => {
+                pkt.pos += 1;
+                ctx.schedule_after(self.hop_latency, Ev::Deliver(pkt));
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Model for DistributedMaxmin {
+    type Event = Ev;
+
+    fn handle(&mut self, ev: Ev, ctx: &mut Ctx<'_, Ev>) {
+        match ev {
+            Ev::Deliver(pkt) => {
+                if pkt.is_update {
+                    self.process_update(pkt, ctx);
+                } else {
+                    self.process_advertise(pkt, ctx);
+                }
+            }
+            Ev::ChangeExcess { link, excess } => {
+                let increase = {
+                    let ctl = self.links.entry(link).or_default();
+                    let inc = excess > ctl.excess;
+                    ctl.excess = excess.max(0.0);
+                    inc
+                };
+                let _ = increase;
+                self.wake_inconsistent(link, None, ctx);
+                self.maybe_activate(ctx);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maxmin::centralized::{ConnDemand, MaxminProblem};
+    use arm_sim::{Engine, SimTime};
+
+    fn lid(i: u32) -> LinkId {
+        LinkId(i)
+    }
+    fn cid(i: u32) -> ConnId {
+        ConnId(i)
+    }
+
+    /// Build protocol + reference problem from the same description, fire
+    /// ChangeExcess on every link at t=0, run to quiescence, and compare.
+    fn run_and_compare(
+        variant: Variant,
+        links: &[(u32, f64)],
+        conns: &[(u32, f64, &[u32])],
+    ) -> (BTreeMap<ConnId, f64>, ProtocolStats) {
+        let mut proto = DistributedMaxmin::new(variant, SimDuration::from_millis(1));
+        let mut problem = MaxminProblem::default();
+        for (l, cap) in links {
+            proto.add_link(lid(*l), *cap);
+            problem.link_excess.insert(lid(*l), *cap);
+        }
+        for (c, demand, ls) in conns {
+            let route: Vec<LinkId> = ls.iter().map(|l| lid(*l)).collect();
+            proto.add_conn(cid(*c), route.clone(), *demand);
+            problem.conns.insert(
+                cid(*c),
+                ConnDemand {
+                    demand: *demand,
+                    links: route,
+                },
+            );
+        }
+        let mut engine = Engine::new(proto).with_event_budget(2_000_000);
+        for (l, cap) in links {
+            engine.schedule_at(
+                SimTime::ZERO,
+                Ev::ChangeExcess {
+                    link: lid(*l),
+                    excess: *cap,
+                },
+            );
+        }
+        let stop = engine.run();
+        assert_eq!(stop, arm_sim::StopCondition::QueueEmpty, "protocol quiesces");
+        assert!(engine.model().is_quiescent());
+        let expect = problem.solve();
+        let got = engine.model().rates().clone();
+        for (c, x) in &expect {
+            let g = got.get(c).copied().unwrap_or(0.0);
+            assert!(
+                (g - x).abs() < 1e-6,
+                "{variant:?}: {c:?} got {g}, want {x}\nall: {got:?}\nexpect: {expect:?}"
+            );
+        }
+        (got, engine.model().stats())
+    }
+
+    #[test]
+    fn single_link_even_split_converges() {
+        for v in [Variant::Flooding, Variant::Refined] {
+            run_and_compare(
+                v,
+                &[(0, 30.0)],
+                &[(0, 100.0, &[0]), (1, 100.0, &[0]), (2, 100.0, &[0])],
+            );
+        }
+    }
+
+    #[test]
+    fn finite_demands_respected() {
+        for v in [Variant::Flooding, Variant::Refined] {
+            run_and_compare(
+                v,
+                &[(0, 30.0)],
+                &[(0, 4.0, &[0]), (1, 100.0, &[0]), (2, 100.0, &[0])],
+            );
+        }
+    }
+
+    #[test]
+    fn classic_two_link_chain_converges() {
+        for v in [Variant::Flooding, Variant::Refined] {
+            run_and_compare(
+                v,
+                &[(0, 10.0), (1, 4.0)],
+                &[(0, 100.0, &[0, 1]), (1, 100.0, &[0]), (2, 100.0, &[1])],
+            );
+        }
+    }
+
+    #[test]
+    fn three_link_mesh_converges() {
+        for v in [Variant::Flooding, Variant::Refined] {
+            run_and_compare(
+                v,
+                &[(0, 12.0), (1, 6.0), (2, 9.0)],
+                &[
+                    (0, 100.0, &[0, 1, 2]),
+                    (1, 100.0, &[0]),
+                    (2, 100.0, &[1]),
+                    (3, 100.0, &[2]),
+                ],
+            );
+        }
+    }
+
+    #[test]
+    fn five_link_parking_lot_converges() {
+        // The classic parking-lot topology that exercises bottleneck
+        // hierarchies: one long flow over all links plus one cross flow
+        // per link, with mixed capacities and finite demands.
+        for v in [Variant::Flooding, Variant::Refined] {
+            run_and_compare(
+                v,
+                &[(0, 20.0), (1, 7.0), (2, 15.0), (3, 9.0), (4, 30.0)],
+                &[
+                    (0, 100.0, &[0, 1, 2, 3, 4]),
+                    (1, 100.0, &[0]),
+                    (2, 2.0, &[1]),
+                    (3, 100.0, &[2]),
+                    (4, 100.0, &[3]),
+                    (5, 6.0, &[4]),
+                ],
+            );
+        }
+    }
+
+    #[test]
+    fn refined_variant_uses_fewer_messages() {
+        let mesh_links: &[(u32, f64)] = &[(0, 12.0), (1, 6.0), (2, 9.0), (3, 20.0)];
+        let mesh_conns: &[(u32, f64, &[u32])] = &[
+            (0, 100.0, &[0, 1, 2, 3]),
+            (1, 100.0, &[0, 1]),
+            (2, 100.0, &[1, 2]),
+            (3, 100.0, &[2, 3]),
+            (4, 100.0, &[0]),
+            (5, 100.0, &[3]),
+        ];
+        let (_, flood) = run_and_compare(Variant::Flooding, mesh_links, mesh_conns);
+        let (_, refined) = run_and_compare(Variant::Refined, mesh_links, mesh_conns);
+        assert!(
+            refined.advertise_hops <= flood.advertise_hops,
+            "refined {refined:?} should not exceed flooding {flood:?}"
+        );
+        assert!(refined.sessions <= flood.sessions);
+    }
+
+    #[test]
+    fn capacity_increase_after_steady_state_upgrades() {
+        let mut proto = DistributedMaxmin::new(Variant::Refined, SimDuration::from_millis(1));
+        proto.add_link(lid(0), 10.0);
+        proto.add_conn(cid(0), vec![lid(0)], 100.0);
+        proto.add_conn(cid(1), vec![lid(0)], 100.0);
+        let mut engine = Engine::new(proto).with_event_budget(1_000_000);
+        engine.schedule_at(
+            SimTime::ZERO,
+            Ev::ChangeExcess {
+                link: lid(0),
+                excess: 10.0,
+            },
+        );
+        engine.run();
+        assert!((engine.model().rates()[&cid(0)] - 5.0).abs() < 1e-6);
+        engine.schedule_at(
+            engine.now(),
+            Ev::ChangeExcess {
+                link: lid(0),
+                excess: 30.0,
+            },
+        );
+        engine.run();
+        assert!(
+            (engine.model().rates()[&cid(0)] - 15.0).abs() < 1e-6,
+            "rates: {:?}",
+            engine.model().rates()
+        );
+        assert!((engine.model().rates()[&cid(1)] - 15.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn capacity_decrease_after_steady_state_downgrades() {
+        let mut proto = DistributedMaxmin::new(Variant::Refined, SimDuration::from_millis(1));
+        proto.add_link(lid(0), 30.0);
+        proto.add_conn(cid(0), vec![lid(0)], 100.0);
+        proto.add_conn(cid(1), vec![lid(0)], 100.0);
+        let mut engine = Engine::new(proto).with_event_budget(1_000_000);
+        engine.schedule_at(
+            SimTime::ZERO,
+            Ev::ChangeExcess {
+                link: lid(0),
+                excess: 30.0,
+            },
+        );
+        engine.run();
+        engine.schedule_at(
+            engine.now(),
+            Ev::ChangeExcess {
+                link: lid(0),
+                excess: 8.0,
+            },
+        );
+        engine.run();
+        assert!((engine.model().rates()[&cid(0)] - 4.0).abs() < 1e-6);
+        assert!((engine.model().rates()[&cid(1)] - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn connection_removal_releases_share() {
+        let mut proto = DistributedMaxmin::new(Variant::Refined, SimDuration::from_millis(1));
+        proto.add_link(lid(0), 30.0);
+        proto.add_conn(cid(0), vec![lid(0)], 100.0);
+        proto.add_conn(cid(1), vec![lid(0)], 100.0);
+        proto.add_conn(cid(2), vec![lid(0)], 100.0);
+        let mut engine = Engine::new(proto).with_event_budget(1_000_000);
+        engine.schedule_at(
+            SimTime::ZERO,
+            Ev::ChangeExcess {
+                link: lid(0),
+                excess: 30.0,
+            },
+        );
+        engine.run();
+        engine.model_mut().remove_conn(cid(2));
+        engine.schedule_at(
+            engine.now(),
+            Ev::ChangeExcess {
+                link: lid(0),
+                excess: 30.0,
+            },
+        );
+        engine.run();
+        let r = engine.model().rates();
+        assert!((r[&cid(0)] - 15.0).abs() < 1e-6, "{r:?}");
+        assert!((r[&cid(1)] - 15.0).abs() < 1e-6);
+        assert!(!r.contains_key(&cid(2)));
+    }
+
+    #[test]
+    fn bottleneck_sets_identify_the_binding_link() {
+        let mut proto = DistributedMaxmin::new(Variant::Refined, SimDuration::from_millis(1));
+        proto.add_link(lid(0), 12.0);
+        proto.add_link(lid(1), 4.0);
+        proto.add_conn(cid(0), vec![lid(0), lid(1)], 100.0);
+        proto.add_conn(cid(1), vec![lid(0)], 5.0);
+        proto.add_conn(cid(2), vec![lid(1)], 100.0);
+        let mut engine = Engine::new(proto).with_event_budget(1_000_000);
+        for (l, e) in [(0, 12.0), (1, 4.0)] {
+            engine.schedule_at(
+                SimTime::ZERO,
+                Ev::ChangeExcess {
+                    link: lid(l),
+                    excess: e,
+                },
+            );
+        }
+        engine.run();
+        // Conn 0's bottleneck is link 1 (it gets 2 there; link 0 would
+        // quote it 7).
+        assert!(engine.model().bottleneck_set(lid(1)).contains(&cid(0)));
+        assert!(!engine.model().bottleneck_set(lid(0)).contains(&cid(0)));
+    }
+
+    #[test]
+    fn four_round_trips_per_session() {
+        // One conn, one link: a session is 4 phases × 2 packets × 1 hop.
+        let mut proto = DistributedMaxmin::new(Variant::Refined, SimDuration::from_millis(1));
+        proto.add_link(lid(0), 10.0);
+        proto.add_conn(cid(0), vec![lid(0)], 100.0);
+        let mut engine = Engine::new(proto).with_event_budget(10_000);
+        engine.schedule_at(
+            SimTime::ZERO,
+            Ev::ChangeExcess {
+                link: lid(0),
+                excess: 10.0,
+            },
+        );
+        engine.run();
+        let stats = engine.model().stats();
+        assert_eq!(stats.sessions, 1);
+        assert_eq!(stats.advertise_hops, 8);
+        assert!((engine.model().rates()[&cid(0)] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quiescent_protocol_stays_quiescent() {
+        // Re-firing an unchanged excess produces no further sessions in
+        // the refined variant (nothing can change).
+        let mut proto = DistributedMaxmin::new(Variant::Refined, SimDuration::from_millis(1));
+        proto.add_link(lid(0), 10.0);
+        proto.add_conn(cid(0), vec![lid(0)], 100.0);
+        let mut engine = Engine::new(proto).with_event_budget(10_000);
+        engine.schedule_at(
+            SimTime::ZERO,
+            Ev::ChangeExcess {
+                link: lid(0),
+                excess: 10.0,
+            },
+        );
+        engine.run();
+        let sessions_before = engine.model().stats().sessions;
+        engine.schedule_at(
+            engine.now(),
+            Ev::ChangeExcess {
+                link: lid(0),
+                excess: 10.0,
+            },
+        );
+        engine.run();
+        assert_eq!(engine.model().stats().sessions, sessions_before);
+    }
+}

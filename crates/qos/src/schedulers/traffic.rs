@@ -1,0 +1,169 @@
+//! Token-bucket traffic sources and envelope conformance.
+//!
+//! A `(σ, ρ)` source may emit at most `σ + ρ·t` bits in any interval of
+//! length `t`. The **greedy** source is the worst case the delay bounds
+//! are proved against: it dumps the full burst at t = 0 and then sends at
+//! exactly `ρ`. The randomised source emits conformant but irregular
+//! traffic for broader coverage.
+
+use arm_sim::SimRng;
+
+use super::Packet;
+
+/// Generate the greedy `(σ, ρ)` arrival sequence for one flow: `σ` worth
+/// of packets at `start`, then steady packets of `l_max` every
+/// `l_max / ρ`.
+pub fn greedy(
+    flow: usize,
+    sigma: f64,
+    rho: f64,
+    l_max: f64,
+    start: f64,
+    horizon: f64,
+) -> Vec<Packet> {
+    assert!(rho > 0.0 && l_max > 0.0 && sigma >= 0.0);
+    let mut out = Vec::new();
+    // The burst, in maximal packets (a possibly smaller tail packet).
+    let mut burst = sigma;
+    while burst > 1e-12 {
+        let size = burst.min(l_max);
+        out.push(Packet {
+            flow,
+            size,
+            arrival: start,
+        });
+        burst -= size;
+    }
+    // Steady state at rate ρ.
+    let gap = l_max / rho;
+    let mut t = start + gap;
+    while t <= horizon {
+        out.push(Packet {
+            flow,
+            size: l_max,
+            arrival: t,
+        });
+        t += gap;
+    }
+    out
+}
+
+/// Generate randomised conformant traffic: exponential gaps at mean load
+/// `load × ρ`, each packet released only up to the current bucket level.
+pub fn random_conformant(
+    flow: usize,
+    sigma: f64,
+    rho: f64,
+    l_max: f64,
+    load: f64,
+    horizon: f64,
+    rng: &mut SimRng,
+) -> Vec<Packet> {
+    assert!((0.0..=1.0).contains(&load));
+    let mut out = Vec::new();
+    let mut bucket = sigma.min(l_max); // start partially filled
+    let mut t = 0.0;
+    let rate = rho * load;
+    if rate <= 0.0 {
+        return out;
+    }
+    let mean_gap = l_max / rate;
+    let mut last = 0.0;
+    loop {
+        t += rng.exp(1.0 / mean_gap);
+        if t > horizon {
+            break;
+        }
+        bucket = (bucket + (t - last) * rho).min(sigma.max(l_max));
+        last = t;
+        let size = bucket.min(l_max);
+        if size >= l_max * 0.1 {
+            out.push(Packet {
+                flow,
+                size,
+                arrival: t,
+            });
+            bucket -= size;
+        }
+    }
+    out
+}
+
+/// Does the arrival sequence conform to the `(σ, ρ)` envelope? (Checks
+/// every pair of arrival instants — O(n²), test-sized inputs only.)
+pub fn conforms(packets: &[Packet], sigma: f64, rho: f64) -> bool {
+    let mut cum = Vec::with_capacity(packets.len());
+    let mut s = 0.0;
+    for p in packets {
+        s += p.size;
+        cum.push((p.arrival, s));
+    }
+    for i in 0..cum.len() {
+        for j in i..cum.len() {
+            let sent = cum[j].1 - if i == 0 { 0.0 } else { cum[i - 1].1 };
+            let dt = cum[j].0 - cum[i].0;
+            if sent > sigma + rho * dt + 1e-9 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greedy_is_conformant_and_maximal() {
+        let pkts = greedy(0, 8.0, 64.0, 1.0, 0.0, 2.0);
+        assert!(conforms(&pkts, 8.0, 64.0));
+        // The burst is present in full at t = 0.
+        let burst: f64 = pkts
+            .iter()
+            .filter(|p| p.arrival == 0.0)
+            .map(|p| p.size)
+            .sum();
+        assert!((burst - 8.0).abs() < 1e-9);
+        // Violating the envelope by ε fails the check.
+        assert!(!conforms(&pkts, 7.5, 64.0));
+    }
+
+    #[test]
+    fn greedy_respects_rate_after_burst() {
+        let pkts = greedy(0, 4.0, 100.0, 1.0, 0.0, 1.0);
+        let steady: Vec<_> = pkts.iter().filter(|p| p.arrival > 0.0).collect();
+        // Rate 100 kbps with 1 kb packets → one every 10 ms.
+        assert!(steady.len() >= 99);
+        let gaps: Vec<f64> = steady.windows(2).map(|w| w[1].arrival - w[0].arrival).collect();
+        assert!(gaps.iter().all(|g| (g - 0.01).abs() < 1e-9));
+    }
+
+    #[test]
+    fn random_source_is_conformant() {
+        let mut rng = arm_sim::SimRng::new(3);
+        for load in [0.3, 0.7, 1.0] {
+            let pkts = random_conformant(0, 8.0, 64.0, 1.0, load, 5.0, &mut rng);
+            assert!(conforms(&pkts, 8.0, 64.0), "load {load}");
+            assert!(!pkts.is_empty());
+        }
+    }
+
+    #[test]
+    fn conformance_catches_violations() {
+        let burst = vec![
+            Packet {
+                flow: 0,
+                size: 5.0,
+                arrival: 0.0,
+            },
+            Packet {
+                flow: 0,
+                size: 5.0,
+                arrival: 0.001,
+            },
+        ];
+        assert!(!conforms(&burst, 5.0, 10.0));
+        assert!(conforms(&burst, 10.0, 10.0));
+    }
+}

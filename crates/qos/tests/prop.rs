@@ -1,0 +1,277 @@
+//! Property-based tests for the maxmin machinery — most importantly
+//! Theorem 1: the distributed event-driven protocol converges to the
+//! centralized maxmin optimum on arbitrary topologies.
+
+use arm_net::ids::{ConnId, LinkId};
+use arm_qos::maxmin::advertised::{advertised_rate, advertised_rate_for};
+use arm_qos::maxmin::centralized::{ConnDemand, MaxminProblem};
+use arm_qos::maxmin::distributed::{DistributedMaxmin, Ev, Variant};
+use arm_sim::{Engine, SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// Strategy: a random problem with `n_links` links of random capacity and
+/// `n_conns` connections over random non-empty link subsets with random
+/// (sometimes finite) demands.
+fn problem_strategy() -> impl Strategy<Value = (Vec<f64>, Vec<(f64, Vec<usize>)>)> {
+    (2usize..6, 1usize..8).prop_flat_map(|(n_links, n_conns)| {
+        let caps = prop::collection::vec(0.5f64..50.0, n_links);
+        let conns = prop::collection::vec(
+            (
+                prop_oneof![Just(1000.0f64), 0.1f64..20.0],
+                prop::collection::vec(0usize..n_links, 1..=n_links),
+            ),
+            n_conns,
+        );
+        (caps, conns)
+    })
+}
+
+fn build_problem(caps: &[f64], conns: &[(f64, Vec<usize>)]) -> MaxminProblem {
+    let mut p = MaxminProblem::default();
+    for (i, c) in caps.iter().enumerate() {
+        p.link_excess.insert(LinkId(i as u32), *c);
+    }
+    for (i, (demand, links)) in conns.iter().enumerate() {
+        let mut ls: Vec<LinkId> = links.iter().map(|l| LinkId(*l as u32)).collect();
+        ls.sort_unstable();
+        ls.dedup();
+        p.conns.insert(
+            ConnId(i as u32),
+            ConnDemand {
+                demand: *demand,
+                links: ls,
+            },
+        );
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The centralized solver always produces a maxmin-optimal,
+    /// feasible allocation.
+    #[test]
+    fn centralized_solver_is_maxmin((caps, conns) in problem_strategy()) {
+        let p = build_problem(&caps, &conns);
+        let a = p.solve();
+        prop_assert!(p.verify_maxmin(&a).is_ok(), "{:?}", p.verify_maxmin(&a));
+    }
+
+    /// Theorem 1: the distributed protocol (both variants) converges to
+    /// the centralized optimum from cold start on random topologies.
+    #[test]
+    fn distributed_matches_centralized((caps, conns) in problem_strategy()) {
+        let p = build_problem(&caps, &conns);
+        let expect = p.solve();
+        for variant in [Variant::Flooding, Variant::Refined] {
+            let mut proto = DistributedMaxmin::new(variant, SimDuration::from_millis(1));
+            for (l, cap) in &p.link_excess {
+                proto.add_link(*l, *cap);
+            }
+            for (c, d) in &p.conns {
+                proto.add_conn(*c, d.links.clone(), d.demand);
+            }
+            let mut engine = Engine::new(proto).with_event_budget(5_000_000);
+            for (l, cap) in &p.link_excess {
+                engine.schedule_at(SimTime::ZERO, Ev::ChangeExcess { link: *l, excess: *cap });
+            }
+            let stop = engine.run();
+            prop_assert_eq!(stop, arm_sim::StopCondition::QueueEmpty);
+            prop_assert!(engine.model().is_quiescent());
+            for (c, x) in &expect {
+                let g = engine.model().rates().get(c).copied().unwrap_or(0.0);
+                prop_assert!(
+                    (g - x).abs() < 1e-6,
+                    "{:?}: {:?} got {} want {} (expect {:?}, got {:?})",
+                    variant, c, g, x, expect, engine.model().rates()
+                );
+            }
+        }
+    }
+
+    /// Theorem 1, steady-state clause: after convergence, a capacity
+    /// perturbation re-converges to the new optimum.
+    #[test]
+    fn distributed_reconverges_after_perturbation(
+        (caps, conns) in problem_strategy(),
+        perturb_idx in 0usize..6,
+        factor in 0.3f64..3.0,
+    ) {
+        let p = build_problem(&caps, &conns);
+        let mut proto = DistributedMaxmin::new(Variant::Refined, SimDuration::from_millis(1));
+        for (l, cap) in &p.link_excess {
+            proto.add_link(*l, *cap);
+        }
+        for (c, d) in &p.conns {
+            proto.add_conn(*c, d.links.clone(), d.demand);
+        }
+        let mut engine = Engine::new(proto).with_event_budget(5_000_000);
+        for (l, cap) in &p.link_excess {
+            engine.schedule_at(SimTime::ZERO, Ev::ChangeExcess { link: *l, excess: *cap });
+        }
+        engine.run();
+        // Perturb one link.
+        let target = LinkId((perturb_idx % caps.len()) as u32);
+        let new_cap = caps[target.0 as usize] * factor;
+        let mut p2 = p.clone();
+        p2.link_excess.insert(target, new_cap);
+        engine.schedule_at(engine.now(), Ev::ChangeExcess { link: target, excess: new_cap });
+        let stop = engine.run();
+        prop_assert_eq!(stop, arm_sim::StopCondition::QueueEmpty);
+        let expect = p2.solve();
+        for (c, x) in &expect {
+            let g = engine.model().rates().get(c).copied().unwrap_or(0.0);
+            prop_assert!(
+                (g - x).abs() < 1e-6,
+                "{:?} got {} want {} after perturbing {:?} to {}",
+                c, g, x, target, new_cap
+            );
+        }
+    }
+
+    /// The advertised rate is always within [0, excess] and is monotone
+    /// in the excess capacity.
+    #[test]
+    fn advertised_rate_bounds(
+        excess in 0.0f64..100.0,
+        bump in 0.0f64..50.0,
+        recorded in prop::collection::vec(0.0f64..40.0, 0..8),
+    ) {
+        let mu = advertised_rate(excess, &recorded);
+        prop_assert!(mu >= 0.0);
+        prop_assert!(mu <= excess + 1e-9);
+        let mu2 = advertised_rate(excess + bump, &recorded);
+        prop_assert!(mu2 >= mu - 1e-9, "monotone in excess: {mu2} < {mu}");
+    }
+
+    /// The subject-specific quote never falls below the plain equal split
+    /// and never exceeds the excess.
+    #[test]
+    fn advertised_rate_for_bounds(
+        excess in 0.0f64..100.0,
+        others in prop::collection::vec(0.0f64..40.0, 0..8),
+    ) {
+        let mu = advertised_rate_for(excess, &others);
+        prop_assert!(mu >= 0.0);
+        prop_assert!(mu <= excess + 1e-9);
+        let equal_split = excess / (others.len() + 1) as f64;
+        prop_assert!(mu >= equal_split - 1e-9, "{mu} < equal split {equal_split}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scheduler properties (Table 2's disciplines)
+// ---------------------------------------------------------------------
+
+use arm_qos::schedulers::traffic::{conforms, greedy, random_conformant};
+use arm_qos::schedulers::{gps, rcsp, wfq};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// PGPS lag bound: WFQ departure ≤ GPS departure + L_max/C, for
+    /// arbitrary conformant flows sharing a link.
+    #[test]
+    fn wfq_lags_gps_by_at_most_one_packet(
+        seed in any::<u64>(),
+        flows in prop::collection::vec((1.0f64..10.0, 10.0f64..60.0), 1..4),
+        load in 0.4f64..1.0,
+    ) {
+        let total_rho: f64 = flows.iter().map(|(_, r)| r).sum();
+        let capacity = total_rho * 1.2;
+        let l_max = 1.0;
+        let mut rng = arm_sim::SimRng::new(seed);
+        let mut pkts = Vec::new();
+        for (f, (sigma, rho)) in flows.iter().enumerate() {
+            pkts.extend(random_conformant(f, *sigma, *rho, l_max, load, 3.0, &mut rng));
+        }
+        prop_assume!(!pkts.is_empty());
+        let weights: Vec<f64> = flows.iter().map(|(_, r)| *r).collect();
+        let g = gps::finish_times(&pkts, &weights, capacity);
+        let w = wfq::simulate(&pkts, &weights, capacity);
+        for (gd, wd) in g.iter().zip(&w) {
+            prop_assert!(
+                wd.departure <= gd.departure + l_max / capacity + 1e-6,
+                "lag bound violated: {} vs {}",
+                wd.departure,
+                gd.departure
+            );
+        }
+    }
+
+    /// The Table 2 WFQ delay bound holds for greedy (worst-case) sources.
+    #[test]
+    fn wfq_table2_bound_on_greedy_sources(
+        flows in prop::collection::vec((0.5f64..8.0, 16.0f64..64.0), 1..4),
+    ) {
+        let total_rho: f64 = flows.iter().map(|(_, r)| r).sum();
+        let capacity = total_rho * 1.1;
+        let l_max = 1.0;
+        let mut pkts = Vec::new();
+        for (f, (sigma, rho)) in flows.iter().enumerate() {
+            pkts.extend(greedy(f, *sigma, *rho, l_max, 0.0, 1.5));
+        }
+        let weights: Vec<f64> = flows.iter().map(|(_, r)| *r).collect();
+        let d = wfq::simulate(&pkts, &weights, capacity);
+        for (f, (sigma, rho)) in flows.iter().enumerate() {
+            let bound = (sigma + l_max) / rho + l_max / capacity + 1e-6;
+            for x in d.iter().filter(|x| x.packet.flow == f) {
+                prop_assert!(x.delay() <= bound, "flow {f}: {} > {bound}", x.delay());
+            }
+        }
+    }
+
+    /// The RCSP regulator's output always conforms to the declared
+    /// envelope (plus the one-packet transmission quantum), no matter how
+    /// badly the input violates it.
+    #[test]
+    fn rcsp_regulator_output_is_conformant(
+        seed in any::<u64>(),
+        sigma in 1.0f64..8.0,
+        rho in 10.0f64..60.0,
+        n_burst in 1usize..20,
+    ) {
+        let l_max = 1.0;
+        // A violating input: n_burst maximal packets all at t = 0.
+        let pkts: Vec<_> = (0..n_burst)
+            .map(|_| arm_qos::schedulers::Packet { flow: 0, size: l_max, arrival: 0.0 })
+            .collect();
+        let flows = [rcsp::RcspFlow { sigma, rho, priority: 0 }];
+        let (deps, _) = rcsp::simulate(&pkts, &flows, 10_000.0);
+        let out: Vec<_> = deps
+            .iter()
+            .map(|d| arm_qos::schedulers::Packet {
+                flow: 0,
+                size: d.packet.size,
+                arrival: d.departure,
+            })
+            .collect();
+        let mut sorted = out.clone();
+        sorted.sort_by(|a, b| a.arrival.partial_cmp(&b.arrival).expect("no NaN"));
+        prop_assert!(conforms(&sorted, sigma + l_max, rho));
+        let _ = seed;
+    }
+
+    /// GPS conserves work: within one busy period starting at t = 0 with
+    /// all arrivals at 0, the last departure equals total bits / C.
+    #[test]
+    fn gps_work_conservation(
+        sizes in prop::collection::vec(0.1f64..5.0, 1..20),
+        capacity in 5.0f64..100.0,
+    ) {
+        let pkts: Vec<_> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, s)| arm_qos::schedulers::Packet {
+                flow: i % 3,
+                size: *s,
+                arrival: 0.0,
+            })
+            .collect();
+        let d = gps::finish_times(&pkts, &[1.0, 2.0, 3.0], capacity);
+        let last = d.iter().map(|x| x.departure).fold(0.0, f64::max);
+        let total: f64 = sizes.iter().sum();
+        prop_assert!((last - total / capacity).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,192 @@
+//! The comparison baselines of §7.
+//!
+//! * **Brute force** — "reserves resources for an application in all the
+//!   neighboring cells of its current cell" \[7\]. Conservative and, as
+//!   §7.1 shows, wasteful once load grows.
+//! * **Aggregate** — "advance reservation based on aggregation of
+//!   previous handoffs from a cell to its neighbors": each portable's
+//!   demand is spread over the neighbours proportionally to the cell
+//!   profile's transition probabilities.
+//! * **Static** — a fixed fraction of every cell's capacity is set aside
+//!   for handoffs regardless of state (the strawman the default
+//!   algorithm is compared against in \[12\]).
+//!
+//! All three produce, from the same inputs, a map *cell → bandwidth to
+//! advance-reserve*, which the resource manager installs as aggregate
+//! claims.
+
+use std::collections::BTreeMap;
+
+use arm_net::ids::CellId;
+
+/// One mobile portable's reservation demand: where it is and the total
+/// guaranteed bandwidth (kbps) of its ongoing connections.
+#[derive(Clone, Copy, Debug)]
+pub struct MobileDemand {
+    /// The portable's current cell.
+    pub cell: CellId,
+    /// Sum of `b_min` over its live connections.
+    pub floor_kbps: f64,
+}
+
+/// Brute force: every portable's floor is reserved in *every* neighbour
+/// of its current cell.
+pub fn brute_force(
+    demands: &[MobileDemand],
+    neighbors: &dyn Fn(CellId) -> Vec<CellId>,
+) -> BTreeMap<CellId, f64> {
+    let mut out = BTreeMap::new();
+    for d in demands {
+        for n in neighbors(d.cell) {
+            *out.entry(n).or_insert(0.0) += d.floor_kbps;
+        }
+    }
+    out
+}
+
+/// Aggregate: every portable's floor is spread over the neighbours
+/// proportionally to the current cell's handoff transition row. Cells
+/// with an empty row (no history) fall back to an even spread.
+pub fn aggregate(
+    demands: &[MobileDemand],
+    neighbors: &dyn Fn(CellId) -> Vec<CellId>,
+    transition_row: &dyn Fn(CellId) -> BTreeMap<CellId, f64>,
+) -> BTreeMap<CellId, f64> {
+    let mut out = BTreeMap::new();
+    for d in demands {
+        let ns = neighbors(d.cell);
+        if ns.is_empty() {
+            continue;
+        }
+        let row = transition_row(d.cell);
+        let known: f64 = ns.iter().filter_map(|n| row.get(n)).sum();
+        for n in &ns {
+            let p = if known > 0.0 {
+                row.get(n).copied().unwrap_or(0.0) / known
+            } else {
+                1.0 / ns.len() as f64
+            };
+            if p > 0.0 {
+                *out.entry(*n).or_insert(0.0) += d.floor_kbps * p;
+            }
+        }
+    }
+    out
+}
+
+/// Static: reserve `fraction` of each listed cell's capacity, always.
+pub fn static_fraction(
+    cells: &[(CellId, f64)],
+    fraction: f64,
+) -> BTreeMap<CellId, f64> {
+    assert!((0.0..=1.0).contains(&fraction));
+    cells
+        .iter()
+        .map(|(c, cap)| (*c, cap * fraction))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cid(i: u32) -> CellId {
+        CellId(i)
+    }
+
+    /// A triangle: 0–1, 0–2, 1–2.
+    fn tri_neighbors(c: CellId) -> Vec<CellId> {
+        match c.0 {
+            0 => vec![cid(1), cid(2)],
+            1 => vec![cid(0), cid(2)],
+            _ => vec![cid(0), cid(1)],
+        }
+    }
+
+    #[test]
+    fn brute_force_reserves_everywhere() {
+        let demands = [
+            MobileDemand {
+                cell: cid(0),
+                floor_kbps: 64.0,
+            },
+            MobileDemand {
+                cell: cid(1),
+                floor_kbps: 16.0,
+            },
+        ];
+        let out = brute_force(&demands, &tri_neighbors);
+        // Cell 1 gets 64 (from the portable at 0); cell 2 gets 64 + 16;
+        // cell 0 gets 16 (from the portable at 1).
+        assert_eq!(out[&cid(0)], 16.0);
+        assert_eq!(out[&cid(1)], 64.0);
+        assert_eq!(out[&cid(2)], 80.0);
+        // Total reservation is demand × neighbour count — the waste the
+        // paper calls out.
+        let total: f64 = out.values().sum();
+        assert_eq!(total, (64.0 + 16.0) * 2.0);
+    }
+
+    #[test]
+    fn aggregate_follows_the_transition_row() {
+        let demands = [MobileDemand {
+            cell: cid(0),
+            floor_kbps: 100.0,
+        }];
+        let row = |c: CellId| -> BTreeMap<CellId, f64> {
+            if c == cid(0) {
+                [(cid(1), 0.8), (cid(2), 0.2)].into_iter().collect()
+            } else {
+                BTreeMap::new()
+            }
+        };
+        let out = aggregate(&demands, &tri_neighbors, &row);
+        assert!((out[&cid(1)] - 80.0).abs() < 1e-9);
+        assert!((out[&cid(2)] - 20.0).abs() < 1e-9);
+        // Aggregate reserves exactly the demand, not neighbour-count
+        // times it.
+        let total: f64 = out.values().sum();
+        assert!((total - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_without_history_spreads_evenly() {
+        let demands = [MobileDemand {
+            cell: cid(0),
+            floor_kbps: 100.0,
+        }];
+        let empty = |_c: CellId| BTreeMap::new();
+        let out = aggregate(&demands, &tri_neighbors, &empty);
+        assert!((out[&cid(1)] - 50.0).abs() < 1e-9);
+        assert!((out[&cid(2)] - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_renormalises_partial_rows() {
+        // The row may mention cells that are not neighbours (stale
+        // history); only the neighbour mass counts, renormalised.
+        let demands = [MobileDemand {
+            cell: cid(0),
+            floor_kbps: 60.0,
+        }];
+        let row = |_c: CellId| -> BTreeMap<CellId, f64> {
+            [(cid(1), 0.3), (cid(9), 0.7)].into_iter().collect()
+        };
+        let out = aggregate(&demands, &tri_neighbors, &row);
+        assert!((out[&cid(1)] - 60.0).abs() < 1e-9);
+        assert!(out.get(&cid(9)).is_none());
+    }
+
+    #[test]
+    fn static_fraction_is_state_independent() {
+        let out = static_fraction(&[(cid(0), 1600.0), (cid(1), 800.0)], 0.1);
+        assert_eq!(out[&cid(0)], 160.0);
+        assert_eq!(out[&cid(1)], 80.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn static_fraction_rejects_bad_fraction() {
+        static_fraction(&[(cid(0), 100.0)], 1.5);
+    }
+}

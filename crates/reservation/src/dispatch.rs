@@ -1,0 +1,186 @@
+//! The §6.4 summary dispatcher.
+//!
+//! Given a mobile portable's three-level prediction and the class of its
+//! current cell, decide what kind of advance reservation to make:
+//!
+//! 1. next-predicted-cell from the **portable profile** ⇒ reserve there;
+//! 2. otherwise by **cell class**:
+//!    * *office*: a neighbouring office the user occupies ⇒ reserve
+//!      there; the user occupies *this* office ⇒ no reservation (they are
+//!      expected to stay; the neighbours' `B_dyn` pools cover surprises);
+//!      otherwise aggregate history;
+//!    * *corridor*: occupant office ⇒ reserve there; otherwise aggregate
+//!      history;
+//!    * *lounges*: the class's slot-driven policy (meeting calendar,
+//!      cafeteria least-squares, default one-step + probabilistic) sizes
+//!      an aggregate claim instead of per-portable claims;
+//! 3. nothing to go on ⇒ the default (probabilistic) algorithm.
+
+use arm_net::ids::CellId;
+use arm_profiles::prediction::{Prediction, PredictionLevel};
+use arm_profiles::CellClass;
+
+/// What the §6.4 dispatcher tells the resource manager to do for one
+/// mobile portable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReservationDecision {
+    /// Reserve this portable's connection floors in the named cell.
+    PerConnection(CellId),
+    /// Make no per-portable reservation (occupant staying put).
+    NoReservation,
+    /// The current cell's class-level (aggregate) policy covers it.
+    ClassPolicy,
+    /// No usable information: fall back to the default probabilistic
+    /// reservation algorithm.
+    DefaultAlgorithm,
+}
+
+/// Run the dispatcher.
+///
+/// `is_occupant_of_current` — is the portable a regular occupant of its
+/// *current* cell (meaningful when that cell is an office)?
+pub fn decide(
+    current_class: CellClass,
+    is_occupant_of_current: bool,
+    prediction: Prediction,
+) -> ReservationDecision {
+    // Rule 1: the portable's own profile always wins.
+    if prediction.level == PredictionLevel::PortableProfile {
+        return ReservationDecision::PerConnection(
+            prediction.cell.expect("level-1 prediction has a cell"),
+        );
+    }
+    match current_class {
+        CellClass::Office => {
+            match prediction.level {
+                // Rule 2(office).1: neighbouring office occupancy.
+                PredictionLevel::OccupantOffice => ReservationDecision::PerConnection(
+                    prediction.cell.expect("occupant prediction has a cell"),
+                ),
+                // Rule 2(office).2: the portable belongs here.
+                _ if is_occupant_of_current => ReservationDecision::NoReservation,
+                // Rule 2(office).3: aggregate history.
+                PredictionLevel::CellAggregate => ReservationDecision::PerConnection(
+                    prediction.cell.expect("aggregate prediction has a cell"),
+                ),
+                _ => ReservationDecision::DefaultAlgorithm,
+            }
+        }
+        CellClass::Corridor => match prediction.level {
+            PredictionLevel::OccupantOffice | PredictionLevel::CellAggregate => {
+                ReservationDecision::PerConnection(
+                    prediction.cell.expect("prediction has a cell"),
+                )
+            }
+            _ => ReservationDecision::DefaultAlgorithm,
+        },
+        CellClass::Lounge(_) => ReservationDecision::ClassPolicy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arm_profiles::LoungeKind;
+
+    fn pred(level: PredictionLevel, cell: Option<u32>) -> Prediction {
+        Prediction {
+            cell: cell.map(CellId),
+            level,
+        }
+    }
+
+    #[test]
+    fn portable_profile_beats_everything() {
+        for class in [
+            CellClass::Office,
+            CellClass::Corridor,
+            CellClass::Lounge(LoungeKind::MeetingRoom),
+        ] {
+            let d = decide(class, true, pred(PredictionLevel::PortableProfile, Some(9)));
+            assert_eq!(d, ReservationDecision::PerConnection(CellId(9)));
+        }
+    }
+
+    #[test]
+    fn office_occupant_stays_put() {
+        let d = decide(
+            CellClass::Office,
+            true,
+            pred(PredictionLevel::Default, None),
+        );
+        assert_eq!(d, ReservationDecision::NoReservation);
+        // Even with an aggregate prediction available, an occupant of the
+        // current office makes no advance reservation.
+        let d = decide(
+            CellClass::Office,
+            true,
+            pred(PredictionLevel::CellAggregate, Some(4)),
+        );
+        assert_eq!(d, ReservationDecision::NoReservation);
+    }
+
+    #[test]
+    fn office_visitor_with_own_office_next_door() {
+        let d = decide(
+            CellClass::Office,
+            false,
+            pred(PredictionLevel::OccupantOffice, Some(3)),
+        );
+        assert_eq!(d, ReservationDecision::PerConnection(CellId(3)));
+    }
+
+    #[test]
+    fn office_stranger_uses_aggregate_then_default() {
+        let d = decide(
+            CellClass::Office,
+            false,
+            pred(PredictionLevel::CellAggregate, Some(7)),
+        );
+        assert_eq!(d, ReservationDecision::PerConnection(CellId(7)));
+        let d = decide(
+            CellClass::Office,
+            false,
+            pred(PredictionLevel::Default, None),
+        );
+        assert_eq!(d, ReservationDecision::DefaultAlgorithm);
+    }
+
+    #[test]
+    fn corridor_rules() {
+        let d = decide(
+            CellClass::Corridor,
+            false,
+            pred(PredictionLevel::OccupantOffice, Some(2)),
+        );
+        assert_eq!(d, ReservationDecision::PerConnection(CellId(2)));
+        let d = decide(
+            CellClass::Corridor,
+            false,
+            pred(PredictionLevel::CellAggregate, Some(5)),
+        );
+        assert_eq!(d, ReservationDecision::PerConnection(CellId(5)));
+        let d = decide(
+            CellClass::Corridor,
+            false,
+            pred(PredictionLevel::Default, None),
+        );
+        assert_eq!(d, ReservationDecision::DefaultAlgorithm);
+    }
+
+    #[test]
+    fn lounges_defer_to_class_policy() {
+        for kind in [
+            LoungeKind::MeetingRoom,
+            LoungeKind::Cafeteria,
+            LoungeKind::Default,
+        ] {
+            let d = decide(
+                CellClass::Lounge(kind),
+                false,
+                pred(PredictionLevel::CellAggregate, Some(1)),
+            );
+            assert_eq!(d, ReservationDecision::ClassPolicy);
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! Measurement instruments.
+//!
+//! Every number reported in EXPERIMENTS.md comes out of one of these
+//! collectors: plain [`Counter`]s (handoffs, drops, blocks), a
+//! [`TimeWeighted`] average (link utilisation, reserved bandwidth),
+//! a [`Histogram`] (delay distributions), and a [`TimeSeries`] (the
+//! per-minute handoff activity curves of Figures 2 and 5).
+
+use crate::time::{SimDuration, SimTime};
+
+/// A monotone event counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    count: u64,
+}
+
+impl Counter {
+    /// Zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one.
+    pub fn incr(&mut self) {
+        self.count += 1;
+    }
+
+    /// Add `n`.
+    pub fn add(&mut self, n: u64) {
+        self.count += n;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.count
+    }
+
+    /// This counter as a fraction of a total (0 when the total is 0).
+    ///
+    /// `drops.ratio_of(&attempts)` is the paper's handoff dropping
+    /// probability `P_d`; `blocks.ratio_of(&requests)` is `P_b`.
+    pub fn ratio_of(&self, total: &Counter) -> f64 {
+        if total.count == 0 {
+            0.0
+        } else {
+            self.count as f64 / total.count as f64
+        }
+    }
+}
+
+/// Mean of a value weighted by how long it held each level.
+///
+/// `record(t, v)` says "the value became `v` at time `t`"; the average is
+/// the integral of the step function divided by elapsed time.
+#[derive(Clone, Debug)]
+pub struct TimeWeighted {
+    last_time: SimTime,
+    last_value: f64,
+    weighted_sum: f64,
+    start: SimTime,
+    started: bool,
+    min: f64,
+    max: f64,
+}
+
+impl Default for TimeWeighted {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimeWeighted {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        TimeWeighted {
+            last_time: SimTime::ZERO,
+            last_value: 0.0,
+            weighted_sum: 0.0,
+            start: SimTime::ZERO,
+            started: false,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record that the observed value became `value` at time `now`.
+    pub fn record(&mut self, now: SimTime, value: f64) {
+        if self.started {
+            debug_assert!(now >= self.last_time, "observations must be in time order");
+            let dt = now.since(self.last_time).as_secs_f64();
+            self.weighted_sum += self.last_value * dt;
+        } else {
+            self.start = now;
+            self.started = true;
+        }
+        self.last_time = now;
+        self.last_value = value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Time-weighted mean over `[first record, now]`.
+    pub fn mean(&self, now: SimTime) -> f64 {
+        if !self.started {
+            return 0.0;
+        }
+        let tail = now.saturating_since(self.last_time).as_secs_f64();
+        let total = now.saturating_since(self.start).as_secs_f64();
+        if total == 0.0 {
+            return self.last_value;
+        }
+        (self.weighted_sum + self.last_value * tail) / total
+    }
+
+    /// Smallest value ever recorded (0 if none).
+    pub fn min(&self) -> f64 {
+        if self.started {
+            self.min
+        } else {
+            0.0
+        }
+    }
+
+    /// Largest value ever recorded (0 if none).
+    pub fn max(&self) -> f64 {
+        if self.started {
+            self.max
+        } else {
+            0.0
+        }
+    }
+
+    /// The most recently recorded value.
+    pub fn current(&self) -> f64 {
+        self.last_value
+    }
+}
+
+/// Fixed-bin histogram over `[lo, hi)` with overflow/underflow bins.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+    sum: f64,
+    sum_sq: f64,
+}
+
+impl Histogram {
+    /// A histogram with `bins` equal-width bins over `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo && bins > 0);
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        self.sum_sq += x * x;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let idx = ((x - self.lo) / (self.hi - self.lo) * self.bins.len() as f64) as usize;
+            let last = self.bins.len() - 1;
+            self.bins[idx.min(last)] += 1;
+        }
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Sample standard deviation (0 if fewer than 2 samples).
+    pub fn stddev(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        let n = self.count as f64;
+        let var = (self.sum_sq - self.sum * self.sum / n) / (n - 1.0);
+        var.max(0.0).sqrt()
+    }
+
+    /// Approximate quantile from bin boundaries (`q` in `[0, 1]`).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = self.underflow;
+        if seen >= target {
+            return self.lo;
+        }
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        for (i, b) in self.bins.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return self.lo + width * (i as f64 + 1.0);
+            }
+        }
+        self.hi
+    }
+
+    /// The raw bin counts, with `(underflow, bins, overflow)` layout.
+    pub fn raw(&self) -> (u64, &[u64], u64) {
+        (self.underflow, &self.bins, self.overflow)
+    }
+}
+
+/// Values bucketed into fixed-width time slots — the instrument behind
+/// the paper's per-minute handoff activity plots.
+#[derive(Clone, Debug)]
+pub struct TimeSeries {
+    slot: SimDuration,
+    slots: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// A series with the given slot width.
+    pub fn new(slot: SimDuration) -> Self {
+        assert!(!slot.is_zero());
+        TimeSeries {
+            slot,
+            slots: Vec::new(),
+        }
+    }
+
+    /// Slot width.
+    pub fn slot_width(&self) -> SimDuration {
+        self.slot
+    }
+
+    /// Add `amount` to the slot containing `at`.
+    pub fn add(&mut self, at: SimTime, amount: f64) {
+        let idx = (at.ticks() / self.slot.ticks()) as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, 0.0);
+        }
+        self.slots[idx] += amount;
+    }
+
+    /// Count one event in the slot containing `at`.
+    pub fn incr(&mut self, at: SimTime) {
+        self.add(at, 1.0);
+    }
+
+    /// The slot values, padded with zeros up to `upto` if requested.
+    pub fn values(&self) -> &[f64] {
+        &self.slots
+    }
+
+    /// `(slot_start_seconds, value)` pairs for printing.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i as f64 * self.slot.as_secs_f64(), *v))
+            .collect()
+    }
+
+    /// Sum over every slot.
+    pub fn total(&self) -> f64 {
+        self.slots.iter().sum()
+    }
+
+    /// Index of the peak slot, or `None` when empty.
+    pub fn peak_slot(&self) -> Option<usize> {
+        self.slots
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN in series"))
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_ratio() {
+        let mut drops = Counter::new();
+        let mut attempts = Counter::new();
+        attempts.add(10);
+        drops.incr();
+        drops.incr();
+        assert_eq!(drops.get(), 2);
+        assert!((drops.ratio_of(&attempts) - 0.2).abs() < 1e-12);
+        assert_eq!(Counter::new().ratio_of(&Counter::new()), 0.0);
+    }
+
+    #[test]
+    fn time_weighted_step_function() {
+        let mut tw = TimeWeighted::new();
+        tw.record(SimTime::from_secs(0), 10.0);
+        tw.record(SimTime::from_secs(10), 20.0);
+        // 10s at 10.0, then 10s at 20.0 → mean 15.0 at t=20.
+        assert!((tw.mean(SimTime::from_secs(20)) - 15.0).abs() < 1e-9);
+        assert_eq!(tw.min(), 10.0);
+        assert_eq!(tw.max(), 20.0);
+        assert_eq!(tw.current(), 20.0);
+    }
+
+    #[test]
+    fn time_weighted_empty_and_instant() {
+        let tw = TimeWeighted::new();
+        assert_eq!(tw.mean(SimTime::from_secs(5)), 0.0);
+        let mut tw = TimeWeighted::new();
+        tw.record(SimTime::from_secs(5), 3.0);
+        assert_eq!(tw.mean(SimTime::from_secs(5)), 3.0);
+    }
+
+    #[test]
+    fn histogram_moments_and_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for x in [1.0, 1.5, 2.5, 9.9, -1.0, 12.0] {
+            h.record(x);
+        }
+        let (under, bins, over) = h.raw();
+        assert_eq!(under, 1);
+        assert_eq!(over, 1);
+        assert_eq!(bins[1], 2); // 1.0, 1.5
+        assert_eq!(bins[2], 1); // 2.5
+        assert_eq!(bins[9], 1); // 9.9
+        assert_eq!(h.count(), 6);
+        assert!((h.mean() - 25.9 / 6.0).abs() < 1e-9);
+        assert!(h.stddev() > 0.0);
+    }
+
+    #[test]
+    fn histogram_quantile() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.record(i as f64 + 0.5);
+        }
+        let median = h.quantile(0.5);
+        assert!((median - 50.0).abs() <= 1.0, "median={median}");
+        assert!(h.quantile(1.0) >= 99.0);
+    }
+
+    #[test]
+    fn time_series_slots() {
+        let mut ts = TimeSeries::new(SimDuration::from_secs(60));
+        ts.incr(SimTime::from_secs(30)); // slot 0
+        ts.incr(SimTime::from_secs(59)); // slot 0
+        ts.incr(SimTime::from_secs(60)); // slot 1
+        ts.add(SimTime::from_secs(200), 5.0); // slot 3
+        assert_eq!(ts.values(), &[2.0, 1.0, 0.0, 5.0]);
+        assert_eq!(ts.total(), 8.0);
+        assert_eq!(ts.peak_slot(), Some(3));
+        let pts = ts.points();
+        assert_eq!(pts[1], (60.0, 1.0));
+    }
+
+    #[test]
+    fn time_series_empty() {
+        let ts = TimeSeries::new(SimDuration::from_secs(1));
+        assert!(ts.values().is_empty());
+        assert_eq!(ts.peak_slot(), None);
+        assert_eq!(ts.total(), 0.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Lightweight structured run traces.
+//!
+//! A [`Tracer`] records `(time, subsystem, message)` triples when enabled
+//! and costs one branch when disabled. Experiment binaries turn it on with
+//! `--trace` to show, e.g., every ADVERTISE/UPDATE exchange of the rate
+//! protocol or every reservation decision of a meeting-room base station.
+
+use crate::time::SimTime;
+
+/// One trace record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceRecord {
+    /// Virtual time at which the event was recorded.
+    pub time: SimTime,
+    /// Subsystem tag, e.g. `"maxmin"` or `"resv"`.
+    pub subsystem: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Collector of trace records; disabled by default.
+#[derive(Debug, Default)]
+pub struct Tracer {
+    enabled: bool,
+    records: Vec<TraceRecord>,
+    echo: bool,
+}
+
+impl Tracer {
+    /// A disabled tracer (records nothing).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// An enabled tracer that stores records in memory.
+    pub fn enabled() -> Self {
+        Tracer {
+            enabled: true,
+            records: Vec::new(),
+            echo: false,
+        }
+    }
+
+    /// Also print each record to stderr as it is recorded.
+    pub fn with_echo(mut self) -> Self {
+        self.echo = true;
+        self
+    }
+
+    /// Is tracing on? Callers may use this to skip building messages.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record a message (no-op when disabled).
+    pub fn record(&mut self, time: SimTime, subsystem: &'static str, message: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        let rec = TraceRecord {
+            time,
+            subsystem,
+            message: message.into(),
+        };
+        if self.echo {
+            eprintln!("[{}] {}: {}", rec.time, rec.subsystem, rec.message);
+        }
+        self.records.push(rec);
+    }
+
+    /// All records so far.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Records from one subsystem.
+    pub fn by_subsystem<'a>(
+        &'a self,
+        subsystem: &'a str,
+    ) -> impl Iterator<Item = &'a TraceRecord> + 'a {
+        self.records.iter().filter(move |r| r.subsystem == subsystem)
+    }
+
+    /// Drop all records.
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+/// Record into a tracer without building the message when tracing is off.
+///
+/// ```
+/// use arm_sim::trace::Tracer;
+/// use arm_sim::{sim_trace, SimTime};
+/// let mut t = Tracer::enabled();
+/// sim_trace!(t, SimTime::ZERO, "demo", "x = {}", 42);
+/// assert_eq!(t.records()[0].message, "x = 42");
+/// ```
+#[macro_export]
+macro_rules! sim_trace {
+    ($tracer:expr, $time:expr, $subsystem:expr, $($arg:tt)*) => {
+        if $tracer.is_enabled() {
+            $tracer.record($time, $subsystem, format!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = Tracer::disabled();
+        t.record(SimTime::ZERO, "x", "hello");
+        assert!(t.records().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn enabled_records_and_filters() {
+        let mut t = Tracer::enabled();
+        t.record(SimTime::from_secs(1), "maxmin", "advertise");
+        t.record(SimTime::from_secs(2), "resv", "reserve 3");
+        t.record(SimTime::from_secs(3), "maxmin", "update");
+        assert_eq!(t.records().len(), 3);
+        let maxmin: Vec<_> = t.by_subsystem("maxmin").collect();
+        assert_eq!(maxmin.len(), 2);
+        assert_eq!(maxmin[1].message, "update");
+        t.clear();
+        assert!(t.records().is_empty());
+    }
+
+    #[test]
+    fn macro_skips_formatting_when_disabled() {
+        let mut t = Tracer::disabled();
+        // Would panic if evaluated.
+        #[allow(unreachable_code)]
+        {
+            sim_trace!(t, SimTime::ZERO, "x", "{}", {
+                if t.is_enabled() {
+                    panic!("should not format")
+                };
+                1
+            });
+        }
+        assert!(t.records().is_empty());
+    }
+}

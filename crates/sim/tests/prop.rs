@@ -1,0 +1,142 @@
+//! Property-based tests for the simulation kernel invariants.
+
+use arm_sim::{EventQueue, SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events always pop in nondecreasing time order, and equal-time events
+    /// pop in insertion order, for arbitrary schedules.
+    #[test]
+    fn queue_pops_sorted_and_stable(times in prop::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.schedule_at(SimTime::from_ticks(*t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((t, _, idx)) = q.pop() {
+            if let Some((lt, lidx)) = last {
+                prop_assert!(t >= lt);
+                if t == lt {
+                    prop_assert!(idx > lidx, "FIFO violated among equal times");
+                }
+            }
+            last = Some((t, idx));
+        }
+    }
+
+    /// Cancelling an arbitrary subset removes exactly those events.
+    #[test]
+    fn cancellation_removes_exactly_the_cancelled(
+        times in prop::collection::vec(0u64..1000, 1..100),
+        cancel_mask in prop::collection::vec(any::<bool>(), 100),
+    ) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i, q.schedule_at(SimTime::from_ticks(*t), i)))
+            .collect();
+        let mut expect: Vec<usize> = Vec::new();
+        for (i, id) in &ids {
+            if cancel_mask[*i % cancel_mask.len()] {
+                prop_assert!(q.cancel(*id));
+            } else {
+                expect.push(*i);
+            }
+        }
+        prop_assert_eq!(q.len(), expect.len());
+        let mut popped: Vec<usize> = Vec::new();
+        while let Some((_, _, idx)) = q.pop() {
+            popped.push(idx);
+        }
+        popped.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(popped, expect);
+    }
+
+    /// The time-weighted mean always lies within [min, max] of the inputs.
+    #[test]
+    fn time_weighted_mean_bounded(
+        samples in prop::collection::vec((0u64..10_000, -1000.0f64..1000.0), 1..50)
+    ) {
+        let mut ordered = samples.clone();
+        ordered.sort_by_key(|(t, _)| *t);
+        let mut tw = arm_sim::stats::TimeWeighted::new();
+        for (t, v) in &ordered {
+            tw.record(SimTime::from_ticks(*t), *v);
+        }
+        let lo = ordered.iter().map(|(_, v)| *v).fold(f64::INFINITY, f64::min);
+        let hi = ordered.iter().map(|(_, v)| *v).fold(f64::NEG_INFINITY, f64::max);
+        let end = SimTime::from_ticks(ordered.last().unwrap().0 + 100);
+        let mean = tw.mean(end);
+        prop_assert!(mean >= lo - 1e-9 && mean <= hi + 1e-9, "mean={} lo={} hi={}", mean, lo, hi);
+    }
+
+    /// Histogram never loses samples: count equals under + bins + over.
+    #[test]
+    fn histogram_conserves_mass(xs in prop::collection::vec(-50.0f64..150.0, 0..500)) {
+        let mut h = arm_sim::stats::Histogram::new(0.0, 100.0, 20);
+        for x in &xs {
+            h.record(*x);
+        }
+        let (under, bins, over) = h.raw();
+        let total = under + bins.iter().sum::<u64>() + over;
+        prop_assert_eq!(total, xs.len() as u64);
+    }
+
+    /// Quantiles are monotone in q.
+    #[test]
+    fn histogram_quantiles_monotone(xs in prop::collection::vec(0.0f64..100.0, 1..300)) {
+        let mut h = arm_sim::stats::Histogram::new(0.0, 100.0, 50);
+        for x in &xs {
+            h.record(*x);
+        }
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0];
+        for w in qs.windows(2) {
+            prop_assert!(h.quantile(w[0]) <= h.quantile(w[1]) + 1e-9);
+        }
+    }
+
+    /// Time-series total equals the sum of recorded amounts.
+    #[test]
+    fn time_series_conserves_total(
+        points in prop::collection::vec((0u64..100_000, 0.0f64..10.0), 0..200)
+    ) {
+        let mut ts = arm_sim::stats::TimeSeries::new(SimDuration::from_secs(1));
+        let mut expect = 0.0;
+        for (t, v) in &points {
+            ts.add(SimTime::from_ticks(*t), *v);
+            expect += v;
+        }
+        prop_assert!((ts.total() - expect).abs() < 1e-6);
+    }
+
+    /// Split RNG streams from distinct labels never produce the same first
+    /// draws (independence smoke test), and the same label reproduces.
+    #[test]
+    fn rng_split_reproducible(seed in any::<u64>(), label in "[a-z]{1,8}") {
+        let root = arm_sim::SimRng::new(seed);
+        let mut a = root.split(&label);
+        let mut b = root.split(&label);
+        use rand::RngCore;
+        prop_assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    /// Binomial sample is always within [0, n].
+    #[test]
+    fn binomial_in_range(seed in any::<u64>(), n in 0u32..200, p in 0.0f64..1.0) {
+        let mut rng = arm_sim::SimRng::new(seed);
+        let k = rng.binomial(n, p);
+        prop_assert!(k <= n);
+    }
+
+    /// Exponential samples are nonnegative and finite.
+    #[test]
+    fn exp_nonnegative(seed in any::<u64>(), rate in 0.001f64..100.0) {
+        let mut rng = arm_sim::SimRng::new(seed);
+        for _ in 0..50 {
+            let x = rng.exp(rate);
+            prop_assert!(x.is_finite() && x >= 0.0);
+        }
+    }
+}

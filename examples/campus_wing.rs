@@ -1,0 +1,95 @@
+//! Campus wing: a larger synthetic environment exercising every cell
+//! class at once — offices along a corridor, a meeting room, a cafeteria
+//! and a default lounge — under mixed mobility, comparing the paper's
+//! strategy against the baselines on the same day.
+//!
+//! ```text
+//! cargo run --release -p arm-core --example campus_wing
+//! ```
+
+use arm_core::{ManagerConfig, ResourceManager, Strategy};
+use arm_mobility::environment::office_wing;
+use arm_mobility::models::random_walk::{self, RandomWalkParams};
+use arm_mobility::WorkloadMix;
+use arm_net::ids::{ConnId, PortableId};
+use arm_sim::{SimDuration, SimRng, SimTime};
+use std::collections::BTreeMap;
+
+fn main() {
+    let env = office_wing(6);
+    println!(
+        "campus wing: {} cells ({} offices, corridor, meeting room, cafeteria, lounge)\n",
+        env.cell_count(),
+        6
+    );
+    let params = RandomWalkParams {
+        population: 150,
+        mean_dwell: SimDuration::from_mins(6),
+        span: SimDuration::from_mins(240),
+        ..Default::default()
+    };
+    let trace = random_walk::generate(&env, &params, &mut SimRng::new(99));
+    println!(
+        "mobility: {} portables, {} handoffs over 4 hours\n",
+        trace.portables().len(),
+        trace.len()
+    );
+
+    let mix = WorkloadMix::paper71();
+    println!(
+        "{:<14} {:>8} {:>8} {:>9} {:>9} {:>11}",
+        "strategy", "P_d", "P_b", "drops", "blocks", "claims-used"
+    );
+    for strategy in [
+        Strategy::None,
+        Strategy::Paper,
+        Strategy::BruteForce,
+        Strategy::Aggregate,
+        Strategy::StaticFraction(0.10),
+    ] {
+        let net = env.build_network(800.0, 0.0, 100_000.0);
+        let cfg = ManagerConfig {
+            strategy,
+            ..Default::default()
+        };
+        let mut mgr = ResourceManager::new(env.clone(), net, cfg);
+        let mut rng = SimRng::new(7).split("rates");
+        let mut open: BTreeMap<PortableId, ConnId> = BTreeMap::new();
+        let mut next_slot = SimTime::ZERO + SimDuration::from_mins(1);
+        for ev in trace.events() {
+            while ev.time >= next_slot {
+                mgr.slot_tick(next_slot);
+                next_slot += SimDuration::from_mins(1);
+            }
+            match ev.from {
+                None => {
+                    mgr.portable_appears(ev.portable, ev.to, ev.time);
+                    if let Ok(id) = mgr.request_connection(ev.portable, mix.sample(&mut rng), ev.time)
+                    {
+                        open.insert(ev.portable, id);
+                    }
+                }
+                Some(_) => {
+                    for id in mgr.portable_moved(ev.portable, ev.to, ev.time) {
+                        open.retain(|_, c| *c != id);
+                    }
+                }
+            }
+        }
+        println!(
+            "{:<14} {:>7.2}% {:>7.2}% {:>9} {:>9} {:>11}",
+            strategy.label(),
+            mgr.metrics.p_d() * 100.0,
+            mgr.metrics.p_b() * 100.0,
+            mgr.metrics.dropped.get(),
+            mgr.metrics.blocked.get(),
+            mgr.metrics.claims_consumed.get()
+        );
+    }
+    println!("\nsame workload, same movements — only the reservation policy differs.");
+    println!("under *memoryless* mobility per-portable prediction cannot help (every");
+    println!("guess is wrong), and misplaced claims cost capacity — exactly why the");
+    println!("paper classifies such cells as 'default' and reserves probabilistically");
+    println!("(see expt_fig6) instead of per-user. Structured movement (quickstart,");
+    println!("lecture_day) is where the profile-based strategy wins.");
+}

@@ -116,8 +116,7 @@ fn bench_admission(c: &mut Criterion) {
             || {
                 let (mut net, c0, c1) = testbed();
                 let wl = net.topology().wireless_link(c1);
-                net.link_mut(wl)
-                    .set_claim(ResvClaim::DynPool, 159_990.0);
+                net.link_mut(wl).set_claim(ResvClaim::DynPool, 159_990.0);
                 let id = net.next_conn_id();
                 let route = shortest_path(
                     net.topology(),

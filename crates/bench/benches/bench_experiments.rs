@@ -80,5 +80,11 @@ fn bench_generators(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fig5, bench_fig6, bench_sec71, bench_generators);
+criterion_group!(
+    benches,
+    bench_fig5,
+    bench_fig6,
+    bench_sec71,
+    bench_generators
+);
 criterion_main!(benches);

@@ -67,10 +67,7 @@ fn bench_distributed(c: &mut Criterion) {
             let mut rng = SimRng::new(1);
             let p = parking_lot(n, k, &mut rng);
             group.bench_with_input(
-                BenchmarkId::new(
-                    format!("{variant:?}"),
-                    format!("{n}l_{}c", p.conns.len()),
-                ),
+                BenchmarkId::new(format!("{variant:?}"), format!("{n}l_{}c", p.conns.len())),
                 &p,
                 |b, p| {
                     b.iter(|| {
@@ -117,5 +114,10 @@ fn bench_advertised(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_centralized, bench_distributed, bench_advertised);
+criterion_group!(
+    benches,
+    bench_centralized,
+    bench_distributed,
+    bench_advertised
+);
 criterion_main!(benches);

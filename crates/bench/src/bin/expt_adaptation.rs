@@ -59,15 +59,23 @@ fn main() {
         mgr.request_connection(p, q, SimTime::from_secs(u64::from(i) + 1))
             .expect("admits");
     }
-    let fades = channel::generate(cell, &params, span, &mut SimRng::new(seed));
+    let fades =
+        channel::generate(cell, &params, span, &mut SimRng::new(seed)).expect("in-range fraction");
     println!("time(s)  effective-capacity  aggregate-allocation");
     let show = |mgr: &ResourceManager, t: SimTime, frac: f64| {
         let total: f64 = mgr.net.live_connections().map(|c| c.b_current).sum();
-        println!("{:>7.0}  {:>18.0}  {:>20.0}", t.as_secs_f64(), 1600.0 * frac, total);
+        println!(
+            "{:>7.0}  {:>18.0}  {:>20.0}",
+            t.as_secs_f64(),
+            1600.0 * frac,
+            total
+        );
     };
     show(&mgr, SimTime::from_secs(3), 1.0);
     for ev in &fades {
-        let victims = mgr.channel_change(ev.cell, ev.effective_fraction, ev.time);
+        let victims = mgr
+            .channel_change(ev.cell, ev.effective_fraction, ev.time)
+            .expect("generated fractions are valid");
         assert!(victims.is_empty(), "floors (300) always fit a 50% fade");
         show(&mgr, ev.time, ev.effective_fraction);
     }
@@ -78,7 +86,10 @@ fn main() {
 
     // Part 2: the δ ablation — same fade schedule, growing thresholds.
     println!("--- eqn 2 δ ablation (same fade schedule) ---");
-    println!("{:>8}  {:>10}  {:>22}", "δ (kbps)", "rounds", "mean excess utilised");
+    println!(
+        "{:>8}  {:>10}  {:>22}",
+        "δ (kbps)", "rounds", "mean excess utilised"
+    );
     for delta in [0.0, 25.0, 100.0, 400.0, 1600.0] {
         let (mut mgr, cell) = build(delta);
         for i in 0..3u32 {
@@ -97,7 +108,8 @@ fn main() {
         let mut last_total: f64 = mgr.net.live_connections().map(|c| c.b_current).sum();
         for ev in &fades {
             weighted += last_total * ev.time.since(last_t).as_secs_f64();
-            mgr.channel_change(ev.cell, ev.effective_fraction, ev.time);
+            mgr.channel_change(ev.cell, ev.effective_fraction, ev.time)
+                .expect("generated fractions are valid");
             last_t = ev.time;
             last_total = mgr.net.live_connections().map(|c| c.b_current).sum();
         }

@@ -67,34 +67,34 @@ fn main() {
     // The learning process (§6.4) recovers the classes from activity.
     println!("--- §6.4 learning: classify each lounge from its handoff profile ---");
     let cfg = ClassifierConfig::default();
-    let classify_cell = |name: &str,
-                             cell,
-                             trace: &arm_mobility::MobilityTrace,
-                             expect: CellClass| {
-        // Feed the cell's actual departures, tracking each portable's
-        // entry point so the ⟨prev, next⟩ context is genuine.
-        let mut profile = CellProfile::new(cell, CellClass::Lounge(LoungeKind::Default), 100_000);
-        let mut entered_from: std::collections::BTreeMap<_, _> = Default::default();
-        for ev in trace.events() {
-            if ev.to == cell {
-                entered_from.insert(ev.portable, ev.from);
-            } else if ev.from == Some(cell) {
-                profile.record(arm_profiles::HandoffEvent {
-                    portable: ev.portable,
-                    prev: entered_from.remove(&ev.portable).flatten(),
-                    cur: cell,
-                    next: ev.to,
-                    time: ev.time,
-                });
+    let classify_cell =
+        |name: &str, cell, trace: &arm_mobility::MobilityTrace, expect: CellClass| {
+            // Feed the cell's actual departures, tracking each portable's
+            // entry point so the ⟨prev, next⟩ context is genuine.
+            let mut profile =
+                CellProfile::new(cell, CellClass::Lounge(LoungeKind::Default), 100_000);
+            let mut entered_from: std::collections::BTreeMap<_, _> = Default::default();
+            for ev in trace.events() {
+                if ev.to == cell {
+                    entered_from.insert(ev.portable, ev.from);
+                } else if ev.from == Some(cell) {
+                    profile.record(arm_profiles::HandoffEvent {
+                        portable: ev.portable,
+                        prev: entered_from.remove(&ev.portable).flatten(),
+                        cur: cell,
+                        next: ev.to,
+                        time: ev.time,
+                    });
+                }
             }
-        }
-        let got = classify(&profile, &cfg);
-        println!(
-            "  {name:<16} learned: {:<24} (expected {expect})",
-            got.map(|c| c.to_string()).unwrap_or_else(|| "insufficient history".into()),
-        );
-        got == Some(expect)
-    };
+            let got = classify(&profile, &cfg);
+            println!(
+                "  {name:<16} learned: {:<24} (expected {expect})",
+                got.map(|c| c.to_string())
+                    .unwrap_or_else(|| "insufficient history".into()),
+            );
+            got == Some(expect)
+        };
     let ok_m = classify_cell(
         "meeting room",
         menv.m,
@@ -115,6 +115,10 @@ fn main() {
     );
     println!(
         "\nmeeting/cafeteria recovered: {}",
-        if ok_m && ok_c { "yes" } else { "partially (tune thresholds)" }
+        if ok_m && ok_c {
+            "yes"
+        } else {
+            "partially (tune thresholds)"
+        }
     );
 }

@@ -56,7 +56,11 @@ fn main() {
     for n in [35usize, 55] {
         let runs = meeting::compare(n, seed);
         let r = &runs[2];
-        let label = if n == 35 { "lecture of 35" } else { "laboratory of 55" };
+        let label = if n == 35 {
+            "lecture of 35"
+        } else {
+            "laboratory of 55"
+        };
         println!("--- {label} ---");
         println!(
             "{}",

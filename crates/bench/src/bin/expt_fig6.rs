@@ -37,7 +37,10 @@ fn main() {
     println!("--- baselines ---");
     println!("{:>22}  {:>9}  {:>9}", "policy", "P_b", "P_d");
     let none = fig6::run(AdmissionPolicy::None, params);
-    println!("{:>22}  {:>9.5}  {:>9.5}", "no protection", none.p_b, none.p_d);
+    println!(
+        "{:>22}  {:>9.5}  {:>9.5}",
+        "no protection", none.p_b, none.p_d
+    );
     for reserved in [2.0, 4.0, 6.0, 8.0] {
         let p = fig6::run(AdmissionPolicy::StaticReservation { reserved }, params);
         println!(

@@ -56,7 +56,13 @@ fn run_variant(p: &MaxminProblem, variant: Variant) -> (DistributedMaxmin, u64) 
     }
     let mut engine = Engine::new(proto).with_event_budget(10_000_000);
     for (l, cap) in &p.link_excess {
-        engine.schedule_at(SimTime::ZERO, Ev::ChangeExcess { link: *l, excess: *cap });
+        engine.schedule_at(
+            SimTime::ZERO,
+            Ev::ChangeExcess {
+                link: *l,
+                excess: *cap,
+            },
+        );
     }
     engine.run();
     let elapsed = engine.now().ticks() / 1000; // ms of virtual time

@@ -40,7 +40,11 @@ fn main() {
             gmax[f],
             wmax[f],
             bound,
-            if wmax[f] <= bound + 1e-9 { "✓" } else { "✗ VIOLATED" }
+            if wmax[f] <= bound + 1e-9 {
+                "✓"
+            } else {
+                "✗ VIOLATED"
+            }
         );
     }
     // PGPS lag check across every packet.
@@ -59,7 +63,9 @@ fn main() {
     let mut rng = SimRng::new(23);
     let mut pkts = Vec::new();
     for (f, (sigma, rho)) in specs.iter().enumerate() {
-        pkts.extend(random_conformant(f, *sigma, *rho, l_max, 0.9, 10.0, &mut rng));
+        pkts.extend(random_conformant(
+            f, *sigma, *rho, l_max, 0.9, 10.0, &mut rng,
+        ));
     }
     let w = wfq::simulate(&pkts, &weights, capacity);
     let wmax = max_delay_per_flow(&w, specs.len());
@@ -70,7 +76,11 @@ fn main() {
             "flow {f}: max delay {:.4} s ≤ bound {:.4} s  {}",
             wmax[f],
             bound,
-            if wmax[f] <= bound + 1e-9 { "✓" } else { "✗" }
+            if wmax[f] <= bound + 1e-9 {
+                "✓"
+            } else {
+                "✗"
+            }
         );
     }
 

@@ -30,7 +30,13 @@ fn main() {
     println!(
         "{}",
         table_row(
-            &["population".into(), "C→D".into(), "→A".into(), "→B".into(), "→F/G".into()],
+            &[
+                "population".into(),
+                "C→D".into(),
+                "→A".into(),
+                "→B".into(),
+                "→F/G".into()
+            ],
             &w
         )
     );

@@ -34,7 +34,10 @@ fn main() {
             class.handoff_activity()
         );
     }
-    println!("  {:<22} contents: ∀i ⟨prev, cur, next-predicted-cell⟩", "portable");
+    println!(
+        "  {:<22} contents: ∀i ⟨prev, cur, next-predicted-cell⟩",
+        "portable"
+    );
 
     // Live dump from a scaled-down workweek.
     let f4 = Figure4::build();

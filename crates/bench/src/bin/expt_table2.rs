@@ -28,10 +28,14 @@ fn main() {
         .with_jitter(1.0)
         .with_loss(0.05)
         .with_traffic(TrafficSpec::new(8.0, 64.0));
-    println!("request: [b_min, b_max] = [{}, {}] kbps, d = {} s, σ̄ = {} s,",
-        qos.b_min, qos.b_max, qos.delay_bound, qos.jitter_bound);
-    println!("         p_e = {}, (σ, ρ) = ({}, {}), L_max = {} kb\n",
-        qos.loss_bound, qos.traffic.sigma, qos.traffic.rho, qos.traffic.l_max);
+    println!(
+        "request: [b_min, b_max] = [{}, {}] kbps, d = {} s, σ̄ = {} s,",
+        qos.b_min, qos.b_max, qos.delay_bound, qos.jitter_bound
+    );
+    println!(
+        "         p_e = {}, (σ, ρ) = ({}, {}), L_max = {} kb\n",
+        qos.loss_bound, qos.traffic.sigma, qos.traffic.rho, qos.traffic.l_max
+    );
 
     for (discipline, name) in [(Discipline::Wfq, "WFQ"), (Discipline::Rcsp, "RCSP")] {
         for (mobility, mname) in [
@@ -67,19 +71,30 @@ fn main() {
             println!("--- {name}, {mname} ---");
             println!("  forward pass: bandwidth ok on 4 hops; stamped rate collected");
             println!("    b_stamp = {:.1} kbps", out.b_stamp);
-            println!("  destination: d_min = {:.4} s ≤ d = {} s; loss = {:.4} ≤ {}",
-                out.d_min, qos.delay_bound, out.loss, qos.loss_bound);
+            println!(
+                "  destination: d_min = {:.4} s ≤ d = {} s; loss = {:.4} ≤ {}",
+                out.d_min, qos.delay_bound, out.loss, qos.loss_bound
+            );
             println!("  reverse pass:");
-            println!("    granted rate b = {:.1} kbps ({})", out.b_granted,
-                if mobility == MobilityClass::Static { "b_min + b_stamp" } else { "b_min" });
+            println!(
+                "    granted rate b = {:.1} kbps ({})",
+                out.b_granted,
+                if mobility == MobilityClass::Static {
+                    "b_min + b_stamp"
+                } else {
+                    "b_min"
+                }
+            );
             let budgets: Vec<String> = out
                 .hop_delay_budgets
                 .iter()
                 .map(|d| format!("{d:.4}"))
                 .collect();
-            println!("    relaxed per-hop delay budgets d'_l = [{}] s (sum = {:.4})",
+            println!(
+                "    relaxed per-hop delay budgets d'_l = [{}] s (sum = {:.4})",
                 budgets.join(", "),
-                out.hop_delay_budgets.iter().sum::<f64>());
+                out.hop_delay_budgets.iter().sum::<f64>()
+            );
             let bufs: Vec<String> = out.hop_buffers.iter().map(|b| format!("{b:.2}")).collect();
             println!("    buffers reserved per hop = [{}] kb\n", bufs.join(", "));
             // Clean up for the next variant.

@@ -27,7 +27,10 @@ fn main() {
         eprintln!("invalid scenario: {e}");
         std::process::exit(2);
     });
-    let report = scenario::run(&sc);
+    let report = scenario::run(&sc).unwrap_or_else(|e| {
+        eprintln!("scenario rejected: {e}");
+        std::process::exit(2);
+    });
     println!(
         "{}",
         serde_json::to_string_pretty(&report).expect("serialises")

@@ -336,13 +336,13 @@ mod tests {
             span_units: 1500.0,
             ..Default::default()
         };
-        let stat = run(
-            AdmissionPolicy::StaticReservation { reserved: 6.0 },
-            params,
-        );
-        // Find a probabilistic point with P_b no worse than static's.
+        let stat = run(AdmissionPolicy::StaticReservation { reserved: 6.0 }, params);
+        // Find a probabilistic point with P_b no worse than static's. The
+        // grid must reach the tight end (P_QOS ≈ 0.002): static with a
+        // 6-unit slice blocks ~2%, and only comparably tight look-ahead
+        // targets land in that blocking regime.
         let mut best: Option<Fig6Point> = None;
-        for p_qos in [0.3, 0.2, 0.1, 0.05] {
+        for p_qos in [0.05, 0.02, 0.01, 0.005, 0.002, 0.001] {
             let p = run(
                 AdmissionPolicy::Probabilistic {
                     window_t: 0.05,
@@ -356,7 +356,7 @@ mod tests {
         }
         let best = best.expect("some probabilistic point blocks no more than static");
         assert!(
-            best.p_d <= stat.p_d + 1e-3,
+            best.p_d <= stat.p_d,
             "probabilistic P_d {} should not exceed static P_d {} at no more blocking",
             best.p_d,
             stat.p_d

@@ -153,10 +153,7 @@ pub fn analyze(f4: &Figure4, trace: &MobilityTrace) -> OfficeCaseResult {
     let pops: Vec<(String, Vec<PortableId>)> = vec![
         ("faculty".into(), vec![f4.faculty]),
         ("students".into(), f4.students.to_vec()),
-        (
-            "all".into(),
-            trace.portables(),
-        ),
+        ("all".into(), trace.portables()),
     ];
     for (name, members) in pops {
         let cd: usize = members
@@ -207,11 +204,7 @@ mod tests {
         // Faculty and students have strong habits: after the profile
         // warms up their predictions are mostly right.
         let fac = r.accuracy.get("faculty").expect("faculty accuracy");
-        assert!(
-            fac.hit_rate() > 0.55,
-            "faculty hit rate {}",
-            fac.hit_rate()
-        );
+        assert!(fac.hit_rate() > 0.55, "faculty hit rate {}", fac.hit_rate());
         let stu = r.accuracy.get("students").expect("student accuracy");
         assert!(stu.hit_rate() > 0.55, "student hit rate {}", stu.hit_rate());
     }

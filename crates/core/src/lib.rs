@@ -18,18 +18,26 @@
 //! * [`metrics`] — `P_b`, `P_d`, utilisation, per-slot activity,
 //! * [`driver`] — end-to-end experiment drivers for §7.1 (office
 //!   prediction), Figure 5 (meeting room), and Figure 6 (probabilistic
-//!   default algorithm).
+//!   default algorithm),
+//! * [`chaos`] — the fault-injection harness: replays a seeded
+//!   `arm_sim::FaultSchedule` (link outages, profile-server outages,
+//!   control-plane loss windows, handoff-signalling failures) against a
+//!   scenario run and asserts the degradation invariants after every
+//!   event.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod driver;
+pub mod error;
 pub mod manager;
 pub mod metrics;
 pub mod multicast;
 pub mod scenario;
 pub mod strategy;
 
+pub use error::ControlError;
 pub use manager::{ManagerConfig, ResourceManager};
 pub use metrics::Metrics;
 pub use scenario::{Scenario, ScenarioReport};

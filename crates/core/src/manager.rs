@@ -21,25 +21,24 @@
 //! state — O(cells × portables) per event, trivially fast at indoor
 //! scale and much easier to audit than incremental updates.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use arm_mobility::environment::IndoorEnvironment;
 use arm_net::flowspec::QosRequest;
-use arm_net::ids::{CellId, ConnId, LinkId, NodeId, PortableId};
+use arm_net::ids::{CellId, ConnId, LinkId, NodeId, PortableId, ZoneId};
 use arm_net::link::ResvClaim;
-use arm_net::routing::shortest_path;
+use arm_net::routing::{shortest_path, shortest_path_avoiding};
 use arm_net::{Connection, ConnectionState, Network, Route};
 use arm_profiles::{CellClass, LoungeKind, ZonedProfiles};
 use arm_qos::adaptation::{DynPoolPolicy, StaticMobileTest};
-use arm_qos::admission::{
-    admit, AdmissionRequest, Discipline, MobilityClass, RequestKind,
-};
+use arm_qos::admission::{admit, AdmissionRequest, Discipline, MobilityClass, RequestKind};
 use arm_reservation::cafeteria::CafeteriaPredictor;
 use arm_reservation::default_cell::OneStepMemory;
 use arm_reservation::dispatch::{decide, ReservationDecision};
 use arm_reservation::meeting::{BookingCalendar, MeetingRoomPolicy};
 use arm_sim::{SimDuration, SimTime};
 
+use crate::error::ControlError;
 use crate::metrics::Metrics;
 use crate::multicast::MulticastState;
 use crate::strategy::Strategy;
@@ -72,6 +71,11 @@ pub struct ManagerConfig {
     /// this does not trigger an adaptation round (shrinkage always
     /// does). Controls the frequency/benefit trade-off of adaptation.
     pub delta: f64,
+    /// Policy for connections riding a link that fails: `false`
+    /// (default) squeezes them to `b_min` (re-routing around the
+    /// failure where the topology allows) and lets them ride out the
+    /// outage; `true` drops them outright.
+    pub drop_on_link_failure: bool,
 }
 
 impl Default for ManagerConfig {
@@ -86,6 +90,7 @@ impl Default for ManagerConfig {
             resolve_excess: false,
             multicast: true,
             delta: 0.0,
+            drop_on_link_failure: false,
         }
     }
 }
@@ -127,6 +132,21 @@ pub struct ResourceManager {
     pub channel_renegotiations: u64,
     /// The backbone node connections terminate at.
     server_node: NodeId,
+    /// Links currently failed by fault injection.
+    down_links: BTreeSet<LinkId>,
+    /// Zones whose profile server is currently out.
+    down_zones: BTreeSet<ZoneId>,
+    /// Portables whose next handoff loses its signalling.
+    doomed_handoffs: BTreeSet<PortableId>,
+    /// Link failures processed (idempotent duplicates not counted).
+    pub link_failures: u64,
+    /// Times the stale-profile fallback sized a reservation because the
+    /// owning zone's profile server was out.
+    pub stale_profile_fallbacks: u64,
+    /// Profile updates lost to server outages.
+    pub lost_profile_updates: u64,
+    /// Handoffs processed without signalling (claims unusable).
+    pub handoff_signalling_failures: u64,
 }
 
 impl ResourceManager {
@@ -173,6 +193,13 @@ impl ResourceManager {
             adaptation_rounds: 0,
             channel_renegotiations: 0,
             server_node,
+            down_links: BTreeSet::new(),
+            down_zones: BTreeSet::new(),
+            doomed_handoffs: BTreeSet::new(),
+            link_failures: 0,
+            stale_profile_fallbacks: 0,
+            lost_profile_updates: 0,
+            handoff_signalling_failures: 0,
         }
     }
 
@@ -210,7 +237,13 @@ impl ResourceManager {
                 entered_at: now,
             },
         );
-        self.profiles.portable_entered(p, cell);
+        if self.zone_down(cell) {
+            // The zone's profile server is out: the first-sighting
+            // update is lost (the profile stays stale after recovery).
+            self.lost_profile_updates += 1;
+        } else {
+            self.profiles.portable_entered(p, cell);
+        }
         if self.is_meeting_room(cell) {
             if let Some(policy) = self.meeting_policies.get_mut(&cell) {
                 policy.on_arrival(now);
@@ -339,12 +372,7 @@ impl ResourceManager {
 
     /// Normal connection teardown.
     pub fn terminate(&mut self, id: ConnId, now: SimTime) {
-        if self
-            .net
-            .get(id)
-            .map(|c| c.state.is_live())
-            .unwrap_or(false)
-        {
+        if self.net.get(id).map(|c| c.state.is_live()).unwrap_or(false) {
             self.multicast.teardown(&mut self.net, id);
             self.net.finish(id, ConnectionState::Terminated);
             self.metrics.completed.incr();
@@ -361,9 +389,14 @@ impl ResourceManager {
             .expect("portable must appear before moving");
         let from = state.cell;
         assert_ne!(from, to, "no-op move");
-        // Profile bookkeeping.
-        self.profiles
-            .record_handoff(p, state.prev_cell, from, to, now);
+        // Profile bookkeeping. An outage of either involved zone's
+        // profile server loses the update (profiles go stale).
+        if self.zone_down(from) || self.zone_down(to) {
+            self.lost_profile_updates += 1;
+        } else {
+            self.profiles
+                .record_handoff(p, state.prev_cell, from, to, now);
+        }
         self.metrics.record_arrival(to, now);
         *self.slot_outflow.entry(from).or_insert(0) += 1;
         // Meeting-room arrival/departure counters.
@@ -378,15 +411,17 @@ impl ResourceManager {
             }
         }
         // Move the connections.
-        let conns: Vec<ConnId> = self
-            .net
-            .connections_of_portable(p)
-            .map(|c| c.id)
-            .collect();
+        let conns: Vec<ConnId> = self.net.connections_of_portable(p).map(|c| c.id).collect();
+        // A lost handoff signal means the advance reservations cannot
+        // be consumed for this move: plain admission or drop.
+        let claims_usable = !self.doomed_handoffs.remove(&p);
+        if !claims_usable {
+            self.handoff_signalling_failures += 1;
+        }
         let mut dropped = Vec::new();
         for id in conns {
             self.metrics.handoff_attempts.incr();
-            if self.handoff_connection(id, to, now) {
+            if self.handoff_connection(id, to, now, claims_usable) {
                 self.metrics.handoff_successes.incr();
             } else {
                 self.metrics.dropped.incr();
@@ -463,14 +498,21 @@ impl ResourceManager {
     /// and releasing advance claims — i.e. `b'_av,l` would stay negative —
     /// connections are told to re-negotiate and, failing that, dropped
     /// youngest-first (§5.3: "if b'_av,l < 0, then some connections are
-    /// notified to do re-negotiation"). Returns the dropped connections.
+    /// notified to do re-negotiation"). Returns the dropped connections,
+    /// or [`ControlError::BadChannelFraction`] for a fraction outside
+    /// `(0, 1]` (scenario input, so an error rather than a panic).
     pub fn channel_change(
         &mut self,
         cell: CellId,
         effective_fraction: f64,
         now: SimTime,
-    ) -> Vec<ConnId> {
-        assert!((0.0..=1.0).contains(&effective_fraction) && effective_fraction > 0.0);
+    ) -> Result<Vec<ConnId>, ControlError> {
+        if !(effective_fraction > 0.0 && effective_fraction <= 1.0) {
+            return Err(ControlError::BadChannelFraction {
+                cell,
+                fraction: effective_fraction,
+            });
+        }
         let wl = self.net.topology().wireless_link(cell);
         let capacity = self.net.link(wl).capacity();
         let target_loss = capacity * (1.0 - effective_fraction);
@@ -498,9 +540,177 @@ impl ResourceManager {
             self.channel_renegotiations += 1;
             victims.push(v);
         }
-        self.net.link_mut(wl).set_claim(ResvClaim::Channel, target_loss);
+        self.net
+            .link_mut(wl)
+            .set_claim(ResvClaim::Channel, target_loss);
         self.after_event(now);
-        victims
+        Ok(victims)
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection entry points
+    // ------------------------------------------------------------------
+
+    /// Links currently failed by fault injection.
+    pub fn down_links(&self) -> &BTreeSet<LinkId> {
+        &self.down_links
+    }
+
+    /// Is this link currently failed?
+    pub fn is_link_down(&self, l: LinkId) -> bool {
+        self.down_links.contains(&l)
+    }
+
+    /// Zones whose profile server is currently out.
+    pub fn down_zones(&self) -> &BTreeSet<ZoneId> {
+        &self.down_zones
+    }
+
+    /// A link (wired or wireless) fails. Connections riding it are
+    /// re-routed around the failure where the topology allows, squeezed
+    /// to `b_min` otherwise, and dropped only under the explicit
+    /// [`ManagerConfig::drop_on_link_failure`] policy. The link's
+    /// remaining headroom is sealed with a [`ResvClaim::Outage`] claim so
+    /// nothing new is admitted until restoration. Idempotent: a second
+    /// failure of a down link is a no-op. Returns the dropped
+    /// connections.
+    pub fn link_failed(&mut self, link: LinkId, now: SimTime) -> Vec<ConnId> {
+        if !self.down_links.insert(link) {
+            return Vec::new();
+        }
+        self.link_failures += 1;
+        let ids = self.net.conn_ids_on_link(link);
+        let mut dropped = Vec::new();
+        for id in ids {
+            if !self.net.get(id).map(|c| c.state.is_live()).unwrap_or(false) {
+                continue;
+            }
+            if self.cfg.drop_on_link_failure {
+                self.multicast.teardown(&mut self.net, id);
+                self.net.finish(id, ConnectionState::Dropped);
+                self.metrics.dropped.incr();
+                dropped.push(id);
+            } else if !self.try_reroute(id) {
+                // Ride out the outage at the guaranteed floor.
+                let b_min = self.net.get(id).expect("live connection").qos.b_min;
+                self.net
+                    .set_conn_rate(id, b_min)
+                    .expect("shrinking to b_min never overcommits");
+            }
+        }
+        self.seal_failed_link(link);
+        self.after_event(now);
+        dropped
+    }
+
+    /// The link comes back. Its outage seal is lifted, connections are
+    /// re-routed back onto their shortest paths, and the normal
+    /// adaptation path re-grows squeezed rates. Idempotent.
+    pub fn link_restored(&mut self, link: LinkId, now: SimTime) {
+        if !self.down_links.remove(&link) {
+            return;
+        }
+        self.net.link_mut(link).release_claim(ResvClaim::Outage);
+        let ids: Vec<ConnId> = self.net.live_connections().map(|c| c.id).collect();
+        for id in ids {
+            self.try_reroute(id);
+        }
+        self.after_event(now);
+    }
+
+    /// A zone's profile server stops answering: predictions for its
+    /// cells fall back to the even-spread default and profile updates
+    /// are lost until [`profile_server_up`](Self::profile_server_up).
+    /// Idempotent.
+    pub fn profile_server_down(&mut self, zone: ZoneId, now: SimTime) {
+        if self.down_zones.insert(zone) {
+            self.after_event(now);
+        }
+    }
+
+    /// The zone's profile server recovers (with whatever state it had
+    /// when it went down — updates during the outage are lost).
+    pub fn profile_server_up(&mut self, zone: ZoneId, now: SimTime) {
+        if self.down_zones.remove(&zone) {
+            self.after_event(now);
+        }
+    }
+
+    /// The next handoff attempted by `p` loses its signalling: advance
+    /// claims cannot be consumed for it and its connections must pass
+    /// plain admission at the destination or be dropped.
+    pub fn fail_next_handoff(&mut self, p: PortableId) {
+        self.doomed_handoffs.insert(p);
+    }
+
+    /// Claim the failed link's remaining headroom so nothing new is
+    /// admitted on it (`set_claim` caps the grant to what exists).
+    fn seal_failed_link(&mut self, link: LinkId) {
+        let cap = self.net.link(link).capacity();
+        self.net.link_mut(link).set_claim(ResvClaim::Outage, cap);
+    }
+
+    /// Move `id` onto the shortest route that avoids every down link, if
+    /// that differs from its current route and has room; true on success.
+    fn try_reroute(&mut self, id: ConnId) -> bool {
+        let (cell, old_route, b_min) = {
+            let c = self.net.get(id).expect("live connection");
+            (c.cell, c.route.clone(), c.qos.b_min)
+        };
+        let new_route = {
+            let topo = self.net.topology();
+            shortest_path_avoiding(
+                topo,
+                topo.air_node(cell),
+                self.server_node,
+                &self.down_links,
+            )
+        };
+        let Some(new_route) = new_route else {
+            return false;
+        };
+        if new_route == old_route {
+            return false;
+        }
+        self.net.release_route(id, &old_route);
+        {
+            let c = self.net.get_mut(id).expect("live connection");
+            c.route = new_route;
+            c.b_current = b_min;
+        }
+        let req = AdmissionRequest {
+            conn: id,
+            discipline: self.cfg.discipline,
+            mobility: MobilityClass::Mobile,
+            kind: RequestKind::Handoff,
+        };
+        if admit(&mut self.net, req).is_ok() {
+            return true;
+        }
+        // The detour has no room. Fall back to the old route — its
+        // resources were just freed, so restoring cannot fail — and let
+        // the caller squeeze instead.
+        {
+            let c = self.net.get_mut(id).expect("live connection");
+            c.route = old_route;
+            c.b_current = b_min;
+        }
+        admit(
+            &mut self.net,
+            AdmissionRequest {
+                conn: id,
+                discipline: self.cfg.discipline,
+                mobility: MobilityClass::Mobile,
+                kind: RequestKind::Handoff,
+            },
+        )
+        .expect("restoring the previous reservation always fits");
+        false
+    }
+
+    /// Is the profile server owning `cell` currently out?
+    fn zone_down(&self, cell: CellId) -> bool {
+        !self.down_zones.is_empty() && self.down_zones.contains(&self.profiles.zone_of(cell))
     }
 
     // ------------------------------------------------------------------
@@ -510,8 +720,17 @@ impl ResourceManager {
     /// Move one connection into `to`; true on success. §4.3/§5.1: the
     /// handoff may use advance-reserved resources — its own predicted
     /// claim first, then the destination's aggregate claim, the source
-    /// cell's departure claim, and finally the `B_dyn` pool.
-    fn handoff_connection(&mut self, id: ConnId, to: CellId, now: SimTime) -> bool {
+    /// cell's departure claim, and finally the `B_dyn` pool. With
+    /// `claims_usable` false (handoff signalling lost) none of that
+    /// machinery is reachable: the connection must pass plain admission
+    /// at the destination or be dropped.
+    fn handoff_connection(
+        &mut self,
+        id: ConnId,
+        to: CellId,
+        now: SimTime,
+        claims_usable: bool,
+    ) -> bool {
         let (old_route, b_min, from) = {
             let c = self.net.get(id).expect("live connection");
             (c.route.clone(), c.qos.b_min, c.cell)
@@ -529,12 +748,22 @@ impl ResourceManager {
             conn: id,
             discipline: self.cfg.discipline,
             mobility: MobilityClass::Mobile,
-            kind: RequestKind::Handoff,
+            kind: if claims_usable {
+                RequestKind::Handoff
+            } else {
+                // Without signalling even the connection's own predicted
+                // claim is unreachable.
+                RequestKind::New
+            },
         };
         if admit(&mut self.net, req).is_ok() {
             let c = self.net.get_mut(id).expect("live connection");
             c.handoffs += 1;
             return true;
+        }
+        if !claims_usable {
+            self.net.finish(id, ConnectionState::Dropped);
+            return false;
         }
         // Draw down consumable aggregate claims, most specific first.
         let wl = self.net.topology().wireless_link(to);
@@ -602,9 +831,7 @@ impl ResourceManager {
             let statics: std::collections::BTreeSet<PortableId> = self
                 .portables
                 .iter()
-                .filter(|(_, s)| {
-                    StaticMobileTest::new(self.cfg.t_th).is_static(s.entered_at, now)
-                })
+                .filter(|(_, s)| StaticMobileTest::new(self.cfg.t_th).is_static(s.entered_at, now))
                 .map(|(p, _)| *p)
                 .collect();
             let is_static = move |p: PortableId| statics.contains(&p);
@@ -613,7 +840,8 @@ impl ResourceManager {
             let cells: Vec<CellId> = self.env.cells().map(|(id, _)| id).collect();
             for c in cells {
                 let wl = self.net.topology().wireless_link(c);
-                self.last_excess.insert(wl, self.net.link(wl).excess_available());
+                self.last_excess
+                    .insert(wl, self.net.link(wl).excess_available());
             }
         }
         debug_assert!(self.net.check_invariants().is_ok());
@@ -651,8 +879,9 @@ impl ResourceManager {
     /// Recompute every advance claim from current state.
     fn refresh_claims(&mut self, now: SimTime) {
         // Wipe all wireless-link claims the manager owns. The Channel
-        // claim is the channel monitor's — it models capacity that does
-        // not exist right now and survives every refresh.
+        // claim is the channel monitor's and the Outage claim the fault
+        // path's — both model capacity that does not exist right now and
+        // survive every refresh.
         let cells: Vec<CellId> = self.env.cells().map(|(id, _)| id).collect();
         for c in &cells {
             let wl = self.net.topology().wireless_link(*c);
@@ -661,11 +890,19 @@ impl ResourceManager {
                 .link(wl)
                 .claims()
                 .map(|(k, _)| k)
-                .filter(|k| *k != ResvClaim::Channel)
+                .filter(|k| *k != ResvClaim::Channel && *k != ResvClaim::Outage)
                 .collect();
             for k in keys {
                 self.net.link_mut(wl).release_claim(k);
             }
+        }
+        // Re-tighten the outage seals before installing any advance
+        // claims: terminations during an outage must not open phantom
+        // headroom on a dead link, and a sealed link grants 0 to every
+        // claim set after it.
+        let down: Vec<LinkId> = self.down_links.iter().copied().collect();
+        for l in down {
+            self.seal_failed_link(l);
         }
         match self.cfg.strategy {
             Strategy::None => {}
@@ -699,6 +936,18 @@ impl ResourceManager {
                 .map(|c| (c.id, c.qos.b_min))
                 .collect();
             if floors.is_empty() {
+                continue;
+            }
+            if self.zone_down(state.cell) {
+                // Stale-profile fallback: the zone's profile server is
+                // out, so neither occupancy nor a movement prediction
+                // can be read. Reserve the portable's floors
+                // probabilistically — spread evenly over all neighbours,
+                // the default algorithm's no-history behaviour — rather
+                // than not at all.
+                self.stale_profile_fallbacks += 1;
+                let total: f64 = floors.iter().map(|(_, b)| b).sum();
+                self.spread_evenly(state.cell, total);
                 continue;
             }
             let class = self.env.cell(state.cell).class;
@@ -793,11 +1042,16 @@ impl ResourceManager {
         if neighbors.is_empty() {
             return;
         }
-        let row = self
-            .profiles
-            .cell(source)
-            .map(|cp| cp.aggregate_row())
-            .unwrap_or_default();
+        // A profile-server outage hides the transition row; the empty
+        // row below degrades to the even split.
+        let row = if self.zone_down(source) {
+            Default::default()
+        } else {
+            self.profiles
+                .cell(source)
+                .map(|cp| cp.aggregate_row())
+                .unwrap_or_default()
+        };
         let known: f64 = neighbors.iter().filter_map(|n| row.get(n)).sum();
         for n in &neighbors {
             let share = if known > 0.0 {
@@ -813,6 +1067,24 @@ impl ResourceManager {
                     .link_mut(wl)
                     .set_claim(ResvClaim::Cell(source), cur + amount);
             }
+        }
+    }
+
+    /// Even-split spread used when profile data is unavailable (zone
+    /// profile-server outage): no transition row can be read, so the
+    /// demand is divided uniformly over the neighbours.
+    fn spread_evenly(&mut self, source: CellId, demand: f64) {
+        let neighbors: Vec<CellId> = self.env.neighbors(source).collect();
+        if neighbors.is_empty() || demand <= 0.0 {
+            return;
+        }
+        let share = demand / neighbors.len() as f64;
+        for n in neighbors {
+            let wl = self.net.topology().wireless_link(n);
+            let cur = self.net.link(wl).claim(ResvClaim::Cell(source));
+            self.net
+                .link_mut(wl)
+                .set_claim(ResvClaim::Cell(source), cur + share);
         }
     }
 

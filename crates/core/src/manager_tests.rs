@@ -151,7 +151,11 @@ fn paper_strategy_reserves_in_predicted_cell_only() {
     // And nowhere else.
     for other in [f4.b, f4.e, f4.f, f4.g, f4.c] {
         let wl = mgr.net.topology().wireless_link(other);
-        assert_eq!(mgr.net.link(wl).claim(ResvClaim::Conn(id)), 0.0, "{other:?}");
+        assert_eq!(
+            mgr.net.link(wl).claim(ResvClaim::Conn(id)),
+            0.0,
+            "{other:?}"
+        );
     }
     // The predicted handoff then consumes its claim.
     let dropped = mgr.portable_moved(p, f4.a, SimTime::from_secs(3030));
@@ -241,7 +245,10 @@ fn aggregate_strategy_spreads_by_history() {
     let wl_a = mgr.net.topology().wireless_link(f4.a);
     let claim_e = mgr.net.link(wl_e).claim(ResvClaim::Cell(f4.d));
     let claim_a = mgr.net.link(wl_a).claim(ResvClaim::Cell(f4.d));
-    assert!(claim_e > claim_a, "E ({claim_e}) should outweigh A ({claim_a})");
+    assert!(
+        claim_e > claim_a,
+        "E ({claim_e}) should outweigh A ({claim_a})"
+    );
     assert!(claim_e + claim_a > 0.0);
 }
 
@@ -299,7 +306,9 @@ fn multicast_branches_follow_the_mobile() {
     let (mut mgr, f4) = figure4_manager(Strategy::Paper);
     let p = PortableId(50);
     mgr.portable_appears(p, f4.c, SimTime::ZERO);
-    let id = mgr.request_connection(p, qos(64.0), SimTime::from_secs(1)).unwrap();
+    let id = mgr
+        .request_connection(p, qos(64.0), SimTime::from_secs(1))
+        .unwrap();
     // Mobile in C: branches toward C's neighbours (just D).
     assert_eq!(mgr.multicast.branches_of(id), vec![f4.d]);
     mgr.portable_moved(p, f4.d, SimTime::from_secs(10));
@@ -317,7 +326,9 @@ fn static_portables_lose_their_multicast_branches() {
     let (mut mgr, f4) = figure4_manager(Strategy::Paper);
     let p = PortableId(50);
     mgr.portable_appears(p, f4.c, SimTime::ZERO);
-    let id = mgr.request_connection(p, qos(64.0), SimTime::from_secs(1)).unwrap();
+    let id = mgr
+        .request_connection(p, qos(64.0), SimTime::from_secs(1))
+        .unwrap();
     assert!(!mgr.multicast.branches_of(id).is_empty());
     // After T_th the portable is static; the slot tick retires branches.
     mgr.slot_tick(SimTime::from_mins(10));
@@ -329,16 +340,20 @@ fn renegotiation_upgrades_and_restores_on_failure() {
     let (mut mgr, f4) = figure4_manager(Strategy::None);
     let p = PortableId(50);
     mgr.portable_appears(p, f4.c, SimTime::ZERO);
-    let id = mgr.request_connection(p, qos(64.0), SimTime::from_secs(1)).unwrap();
+    let id = mgr
+        .request_connection(p, qos(64.0), SimTime::from_secs(1))
+        .unwrap();
     // Upgrade to 512 kbps: fits, new floor reserved.
-    mgr.renegotiate(id, qos(512.0), SimTime::from_secs(2)).unwrap();
+    mgr.renegotiate(id, qos(512.0), SimTime::from_secs(2))
+        .unwrap();
     let wl = mgr.net.topology().wireless_link(f4.c);
     assert_eq!(mgr.net.link(wl).sum_b_min(), 512.0);
     assert_eq!(mgr.net.get(id).unwrap().qos.b_min, 512.0);
     // A second user fills most of the rest.
     let q = PortableId(51);
     mgr.portable_appears(q, f4.c, SimTime::ZERO);
-    mgr.request_connection(q, qos(1000.0), SimTime::from_secs(3)).unwrap();
+    mgr.request_connection(q, qos(1000.0), SimTime::from_secs(3))
+        .unwrap();
     // Upgrading beyond capacity fails but the connection survives under
     // its previous bounds.
     let err = mgr.renegotiate(id, qos(1500.0), SimTime::from_secs(4));
@@ -355,14 +370,19 @@ fn renegotiation_downgrade_frees_capacity() {
     let (mut mgr, f4) = figure4_manager(Strategy::None);
     let p = PortableId(50);
     mgr.portable_appears(p, f4.c, SimTime::ZERO);
-    let id = mgr.request_connection(p, qos(1000.0), SimTime::from_secs(1)).unwrap();
-    mgr.renegotiate(id, qos(100.0), SimTime::from_secs(2)).unwrap();
+    let id = mgr
+        .request_connection(p, qos(1000.0), SimTime::from_secs(1))
+        .unwrap();
+    mgr.renegotiate(id, qos(100.0), SimTime::from_secs(2))
+        .unwrap();
     let wl = mgr.net.topology().wireless_link(f4.c);
     assert_eq!(mgr.net.link(wl).sum_b_min(), 100.0);
     // The freed capacity admits a new large connection.
     let q = PortableId(51);
     mgr.portable_appears(q, f4.c, SimTime::ZERO);
-    assert!(mgr.request_connection(q, qos(1400.0), SimTime::from_secs(3)).is_ok());
+    assert!(mgr
+        .request_connection(q, qos(1400.0), SimTime::from_secs(3))
+        .is_ok());
 }
 
 #[test]
@@ -399,7 +419,9 @@ fn channel_fade_squeezes_then_recovers() {
     }
     // The medium fades to 40%: 640 kbps effective. Floors (400) still
     // fit, so nobody is dropped, but allocations shrink to 320 each.
-    let victims = mgr.channel_change(f4.c, 0.4, SimTime::from_secs(10));
+    let victims = mgr
+        .channel_change(f4.c, 0.4, SimTime::from_secs(10))
+        .expect("valid fraction");
     assert!(victims.is_empty());
     for id in &ids {
         assert!(
@@ -409,7 +431,8 @@ fn channel_fade_squeezes_then_recovers() {
         );
     }
     // Recovery restores the full shares.
-    mgr.channel_change(f4.c, 1.0, SimTime::from_secs(60));
+    mgr.channel_change(f4.c, 1.0, SimTime::from_secs(60))
+        .expect("valid fraction");
     for id in &ids {
         assert!((mgr.net.get(*id).unwrap().b_current - 800.0).abs() < 1e-6);
     }
@@ -440,7 +463,9 @@ fn deep_fade_drops_youngest_first() {
     }
     // Fade to 40%: 640 effective < 1500 of floors — two must go, and it
     // is the two youngest (latest arrivals).
-    let victims = mgr.channel_change(f4.c, 0.4, SimTime::from_secs(10));
+    let victims = mgr
+        .channel_change(f4.c, 0.4, SimTime::from_secs(10))
+        .expect("valid fraction");
     assert_eq!(victims, vec![ids[2], ids[1]]);
     assert_eq!(mgr.channel_renegotiations, 2);
     assert!(mgr.net.get(ids[0]).unwrap().state.is_live());
@@ -477,11 +502,13 @@ fn delta_throttles_adaptation_rounds() {
             .with_delay(10.0)
             .with_jitter(10.0)
             .with_loss(1.0);
-        mgr.request_connection(p, adaptive, SimTime::from_secs(1)).unwrap();
+        mgr.request_connection(p, adaptive, SimTime::from_secs(1))
+            .unwrap();
         // A sequence of tiny capacity wobbles (fades of 2%).
         for k in 0..20u64 {
             let f = if k % 2 == 0 { 0.98 } else { 1.0 };
-            mgr.channel_change(f4.c, f, SimTime::from_secs(10 + k));
+            mgr.channel_change(f4.c, f, SimTime::from_secs(10 + k))
+                .expect("valid fraction");
         }
         mgr.adaptation_rounds
     };
@@ -505,7 +532,8 @@ fn cross_zone_handoff_transfers_the_profile() {
     let mut mgr = ResourceManager::new(f4.env.clone(), net, ManagerConfig::default());
     let p = PortableId(50);
     mgr.portable_appears(p, f4.c, SimTime::ZERO);
-    mgr.request_connection(p, qos(64.0), SimTime::from_secs(1)).unwrap();
+    mgr.request_connection(p, qos(64.0), SimTime::from_secs(1))
+        .unwrap();
     // Build a habit entirely in the west zone: C → D → C…
     for k in 0..3u64 {
         mgr.portable_moved(p, f4.d, SimTime::from_secs(10 + 20 * k));
@@ -519,9 +547,207 @@ fn cross_zone_handoff_transfers_the_profile() {
     // The east zone now holds the portable's profile with its history.
     let east = mgr.profiles.server(ZoneId(1)).expect("zone 1 exists");
     assert!(east.portable(p).is_some());
-    assert!(mgr.profiles.server(ZoneId(0)).unwrap().portable(p).is_none());
+    assert!(mgr
+        .profiles
+        .server(ZoneId(0))
+        .unwrap()
+        .portable(p)
+        .is_none());
     // Moving back transfers again.
     mgr.portable_moved(p, f4.d, SimTime::from_secs(120));
     assert_eq!(mgr.profiles.transfers, 2);
+    assert!(mgr.net.check_invariants().is_ok());
+}
+
+#[test]
+fn bad_channel_fraction_is_a_typed_error() {
+    let (mut mgr, f4) = figure4_manager(Strategy::None);
+    for bad in [0.0, -0.3, 1.5, f64::NAN] {
+        let err = mgr
+            .channel_change(f4.c, bad, SimTime::from_secs(1))
+            .expect_err("fraction outside (0, 1] must be rejected");
+        assert!(matches!(err, ControlError::BadChannelFraction { .. }));
+    }
+    // Rejected inputs leave no trace.
+    let wl = mgr.net.topology().wireless_link(f4.c);
+    assert_eq!(mgr.net.link(wl).claim(ResvClaim::Channel), 0.0);
+}
+
+#[test]
+fn link_failure_squeezes_riders_and_seals_admission() {
+    let f4 = Figure4::build();
+    let net = f4.env.build_network(1600.0, 0.0, 100_000.0);
+    let cfg = ManagerConfig {
+        strategy: Strategy::None,
+        resolve_excess: true,
+        dyn_pool: None,
+        t_th: SimDuration::from_secs(0),
+        ..Default::default()
+    };
+    let mut mgr = ResourceManager::new(f4.env.clone(), net, cfg);
+    let adaptive = QosRequest::bandwidth(200.0, 1600.0)
+        .with_delay(10.0)
+        .with_jitter(10.0)
+        .with_loss(1.0);
+    for i in 0..2 {
+        let p = PortableId(60 + i);
+        mgr.portable_appears(p, f4.c, SimTime::ZERO);
+        mgr.request_connection(p, adaptive, SimTime::from_secs(1 + u64::from(i)))
+            .unwrap();
+    }
+    let ids: Vec<_> = mgr.net.live_connections().map(|c| c.id).collect();
+    let wl = mgr.net.topology().wireless_link(f4.c);
+    // Star topology: no detour exists, so the riders squeeze to b_min.
+    let dropped = mgr.link_failed(wl, SimTime::from_secs(10));
+    assert!(dropped.is_empty(), "default policy never drops");
+    assert!(mgr.is_link_down(wl));
+    for id in &ids {
+        let c = mgr.net.get(*id).unwrap();
+        assert!(c.state.is_live());
+        assert!((c.b_current - 200.0).abs() < 1e-6, "rate {}", c.b_current);
+    }
+    // The outage seal blocks new admissions on the dead link.
+    let p = PortableId(90);
+    mgr.portable_appears(p, f4.c, SimTime::from_secs(10));
+    assert!(mgr
+        .request_connection(p, qos(64.0), SimTime::from_secs(11))
+        .is_err());
+    // A second failure of the same link is an idempotent no-op.
+    assert!(mgr.link_failed(wl, SimTime::from_secs(12)).is_empty());
+    assert_eq!(mgr.link_failures, 1);
+    assert!(mgr.net.check_invariants().is_ok());
+    // Restoration lifts the seal: rates re-grow and admission works.
+    mgr.link_restored(wl, SimTime::from_secs(20));
+    assert!(!mgr.is_link_down(wl));
+    for id in &ids {
+        assert!(mgr.net.get(*id).unwrap().b_current > 200.0 + 1e-6);
+    }
+    assert!(mgr
+        .request_connection(p, qos(64.0), SimTime::from_secs(21))
+        .is_ok());
+    assert!(mgr.net.check_invariants().is_ok());
+}
+
+#[test]
+fn link_failure_drop_policy_drops_riders() {
+    let f4 = Figure4::build();
+    let net = f4.env.build_network(1600.0, 0.0, 100_000.0);
+    let cfg = ManagerConfig {
+        strategy: Strategy::None,
+        drop_on_link_failure: true,
+        ..Default::default()
+    };
+    let mut mgr = ResourceManager::new(f4.env.clone(), net, cfg);
+    let p = PortableId(50);
+    mgr.portable_appears(p, f4.c, SimTime::ZERO);
+    let id = mgr
+        .request_connection(p, qos(64.0), SimTime::from_secs(1))
+        .unwrap();
+    let wl = mgr.net.topology().wireless_link(f4.c);
+    let dropped = mgr.link_failed(wl, SimTime::from_secs(10));
+    assert_eq!(dropped, vec![id]);
+    assert_eq!(
+        mgr.net.get(id).unwrap().state,
+        arm_net::ConnectionState::Dropped
+    );
+    assert_eq!(mgr.metrics.dropped.get(), 1);
+    assert!(mgr.net.check_invariants().is_ok());
+}
+
+#[test]
+fn wired_link_failure_blocks_the_cell_until_restored() {
+    let (mut mgr, f4) = figure4_manager(Strategy::None);
+    let p = PortableId(50);
+    mgr.portable_appears(p, f4.c, SimTime::ZERO);
+    let id = mgr
+        .request_connection(p, qos(64.0), SimTime::from_secs(1))
+        .unwrap();
+    // The backbone hop of C's route fails; the star offers no detour,
+    // so the fixed-rate connection just rides at its floor.
+    let wired = mgr.net.get(id).unwrap().route.links[1];
+    let dropped = mgr.link_failed(wired, SimTime::from_secs(10));
+    assert!(dropped.is_empty());
+    assert!(mgr.net.get(id).unwrap().state.is_live());
+    let q = PortableId(51);
+    mgr.portable_appears(q, f4.c, SimTime::from_secs(10));
+    assert!(mgr
+        .request_connection(q, qos(64.0), SimTime::from_secs(11))
+        .is_err());
+    mgr.link_restored(wired, SimTime::from_secs(20));
+    assert!(mgr
+        .request_connection(q, qos(64.0), SimTime::from_secs(21))
+        .is_ok());
+    assert!(mgr.net.check_invariants().is_ok());
+}
+
+#[test]
+fn handoff_signalling_failure_forfeits_the_claims() {
+    // Same setup as dyn_pool_rescues_sudden_static_movement, except the
+    // handoff's signalling is lost: no claim (not even B_dyn) can be
+    // consumed, plain admission fails at the full cell, and the
+    // connection drops.
+    let (mut mgr, f4) = figure4_manager(Strategy::Paper);
+    let p = PortableId(50);
+    mgr.portable_appears(p, f4.a, SimTime::ZERO);
+    let now = SimTime::from_mins(10);
+    let id = mgr.request_connection(p, qos(300.0), now).unwrap();
+    let mut t = now;
+    for i in 0..10 {
+        let q = PortableId(600 + i);
+        mgr.portable_appears(q, f4.d, SimTime::ZERO);
+        t += SimDuration::from_secs(1);
+        mgr.request_connection(q, qos(128.0), t).unwrap();
+    }
+    mgr.fail_next_handoff(p);
+    let dropped = mgr.portable_moved(p, f4.d, t + SimDuration::from_secs(1));
+    assert_eq!(dropped, vec![id]);
+    assert_eq!(mgr.handoff_signalling_failures, 1);
+    assert_eq!(mgr.metrics.claims_consumed.get(), 0);
+    // Only the one signalled failure is consumed: a later handoff of a
+    // fresh connection proceeds normally.
+    let id2 = mgr
+        .request_connection(p, qos(64.0), t + SimDuration::from_secs(2))
+        .unwrap();
+    let dropped = mgr.portable_moved(p, f4.e, t + SimDuration::from_secs(3));
+    assert!(dropped.is_empty());
+    assert!(mgr.net.get(id2).unwrap().state.is_live());
+    assert!(mgr.net.check_invariants().is_ok());
+}
+
+#[test]
+fn profile_outage_falls_back_to_even_spread_and_recovers() {
+    use arm_net::ids::ZoneId;
+    let (mut mgr, f4) = figure4_manager(Strategy::Paper);
+    let p = PortableId(50);
+    // Teach the profile the C → D → A habit.
+    mgr.portable_appears(p, f4.c, SimTime::ZERO);
+    for k in 0..4 {
+        let t0 = SimTime::from_secs(600 * k + 10);
+        mgr.portable_moved(p, f4.d, t0);
+        mgr.portable_moved(p, f4.a, t0 + SimDuration::from_secs(30));
+        mgr.portable_moved(p, f4.d, t0 + SimDuration::from_secs(300));
+        mgr.portable_moved(p, f4.c, t0 + SimDuration::from_secs(330));
+    }
+    let id = mgr
+        .request_connection(p, qos(64.0), SimTime::from_secs(3000))
+        .unwrap();
+    mgr.portable_moved(p, f4.d, SimTime::from_secs(3001));
+    let wl_a = mgr.net.topology().wireless_link(f4.a);
+    assert!(mgr.net.link(wl_a).claim(ResvClaim::Conn(id)) >= 64.0 - 1e-9);
+    // The zone's profile server goes down: prediction is unavailable,
+    // so the per-connection claim degrades into an even Cell(D) spread
+    // over D's neighbours C, E, A (the stale-profile fallback).
+    mgr.profile_server_down(ZoneId(0), SimTime::from_secs(3002));
+    assert_eq!(mgr.net.link(wl_a).claim(ResvClaim::Conn(id)), 0.0);
+    for n in [f4.c, f4.e, f4.a] {
+        let wl = mgr.net.topology().wireless_link(n);
+        let claim = mgr.net.link(wl).claim(ResvClaim::Cell(f4.d));
+        assert!((claim - 64.0 / 3.0).abs() < 1e-9, "{n:?}: {claim}");
+    }
+    assert!(mgr.stale_profile_fallbacks > 0);
+    // Recovery restores prediction-based claims from the (stale but
+    // intact) profile.
+    mgr.profile_server_up(ZoneId(0), SimTime::from_secs(3003));
+    assert!(mgr.net.link(wl_a).claim(ResvClaim::Conn(id)) >= 64.0 - 1e-9);
     assert!(mgr.net.check_invariants().is_ok());
 }

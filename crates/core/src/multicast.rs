@@ -80,7 +80,8 @@ impl MulticastState {
             }
             for l in &wired {
                 let cur = net.link(*l).claim(ResvClaim::Conn(conn));
-                net.link_mut(*l).set_claim(ResvClaim::Conn(conn), cur + b_min);
+                net.link_mut(*l)
+                    .set_claim(ResvClaim::Conn(conn), cur + b_min);
             }
             branches.insert(*n, wired);
         }

@@ -8,16 +8,15 @@
 //! repository can be expressed as a [`Scenario`].
 
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 use arm_mobility::environment::{office_wing, Figure4, IndoorEnvironment};
 use arm_mobility::models::meeting::{self, MeetingEnv, MeetingParams};
 use arm_mobility::models::office_case::{self, OfficeCaseParams};
 use arm_mobility::models::random_walk::{self, RandomWalkParams};
-use arm_mobility::{MobilityTrace, WorkloadMix};
-use arm_net::ids::{ConnId, PortableId};
-use arm_sim::{SimDuration, SimRng, SimTime};
+use arm_mobility::MobilityTrace;
+use arm_sim::{SimDuration, SimRng};
 
+use crate::error::ControlError;
 use crate::manager::{ManagerConfig, ResourceManager};
 use crate::strategy::Strategy;
 
@@ -140,8 +139,20 @@ pub struct ScenarioReport {
 }
 
 /// Build and run a scenario end to end.
-pub fn run(sc: &Scenario) -> ScenarioReport {
-    let (env, trace) = build_env_and_trace(sc);
+///
+/// Delegates to [`crate::chaos::run_with_faults`] with the empty fault
+/// schedule — the fault-free path is the same code, so a chaos run with
+/// no faults produces bit-identical reports.
+pub fn run(sc: &Scenario) -> Result<ScenarioReport, ControlError> {
+    Ok(crate::chaos::run_with_faults(sc, &arm_sim::FaultSchedule::empty())?.report)
+}
+
+/// Build the manager (with its environment, network, and calendar) and
+/// the mobility trace a scenario describes.
+pub(crate) fn build_manager(
+    sc: &Scenario,
+) -> Result<(ResourceManager, MobilityTrace), ControlError> {
+    let (env, trace) = build_env_and_trace(sc)?;
     let net = env.build_network(sc.cell_throughput_kbps, sc.wireless_error, sc.backbone_kbps);
     let cfg = ManagerConfig {
         strategy: sc.strategy,
@@ -150,8 +161,7 @@ pub fn run(sc: &Scenario) -> ScenarioReport {
     };
     let mut mgr = ResourceManager::new(env, net, cfg);
     // Meeting scenarios get the booking calendar.
-    if let (EnvSpec::Meeting, MobilitySpec::Meeting { attendees }) =
-        (&sc.environment, &sc.mobility)
+    if let (EnvSpec::Meeting, MobilitySpec::Meeting { attendees }) = (&sc.environment, &sc.mobility)
     {
         let params = MeetingParams {
             attendees: *attendees,
@@ -167,77 +177,17 @@ pub fn run(sc: &Scenario) -> ScenarioReport {
         let menv = MeetingEnv::build();
         mgr.set_calendar(menv.m, cal);
     }
-
-    let mut rng = SimRng::new(sc.seed).split("scenario-workload");
-    let mix = WorkloadMix::paper71();
-    let mut open: BTreeMap<PortableId, ConnId> = BTreeMap::new();
-    let mut next_slot = SimTime::ZERO + SimDuration::from_mins(1);
-    let mut moves = 0u64;
-    // A portable's connection ends at its final trace event — the user
-    // walks out of the modelled area (finite traces would otherwise pile
-    // up phantom load at the map's edges).
-    let mut last_event: BTreeMap<PortableId, SimTime> = BTreeMap::new();
-    for ev in trace.events() {
-        last_event.insert(ev.portable, ev.time);
-    }
-    for ev in trace.events() {
-        while ev.time >= next_slot {
-            mgr.slot_tick(next_slot);
-            next_slot += SimDuration::from_mins(1);
-        }
-        match ev.from {
-            None => {
-                mgr.portable_appears(ev.portable, ev.to, ev.time);
-                let qos = match &sc.workload {
-                    WorkloadSpec::Paper71 => Some(mix.sample(&mut rng)),
-                    WorkloadSpec::Fixed { kbps } => Some(
-                        arm_net::flowspec::QosRequest::fixed(*kbps)
-                            .with_delay(30.0)
-                            .with_jitter(30.0)
-                            .with_loss(1.0),
-                    ),
-                    WorkloadSpec::None => None,
-                };
-                if let Some(q) = qos {
-                    if let Ok(id) = mgr.request_connection(ev.portable, q, ev.time) {
-                        open.insert(ev.portable, id);
-                    }
-                }
-            }
-            Some(_) => {
-                moves += 1;
-                for id in mgr.portable_moved(ev.portable, ev.to, ev.time) {
-                    open.retain(|_, c| *c != id);
-                }
-            }
-        }
-        if last_event[&ev.portable] == ev.time {
-            if let Some(id) = open.remove(&ev.portable) {
-                mgr.terminate(id, ev.time);
-            }
-        }
-    }
-    ScenarioReport {
-        name: sc.name.clone(),
-        strategy: sc.strategy.label(),
-        requests: mgr.metrics.requests.get(),
-        blocked: mgr.metrics.blocked.get(),
-        handoff_attempts: mgr.metrics.handoff_attempts.get(),
-        dropped: mgr.metrics.dropped.get(),
-        p_b: mgr.metrics.p_b(),
-        p_d: mgr.metrics.p_d(),
-        claims_consumed: mgr.metrics.claims_consumed.get(),
-        moves,
-    }
+    Ok((mgr, trace))
 }
 
-fn build_env_and_trace(sc: &Scenario) -> (IndoorEnvironment, MobilityTrace) {
+fn build_env_and_trace(sc: &Scenario) -> Result<(IndoorEnvironment, MobilityTrace), ControlError> {
+    validate(sc)?;
     let mut rng = SimRng::new(sc.seed);
     match (&sc.environment, &sc.mobility) {
         (EnvSpec::Figure4, MobilitySpec::OfficeCase) => {
             let f4 = Figure4::build();
             let trace = office_case::generate(&f4, &OfficeCaseParams::default(), &mut rng);
-            (f4.env, trace)
+            Ok((f4.env, trace))
         }
         (EnvSpec::Meeting, MobilitySpec::Meeting { attendees }) => {
             let menv = MeetingEnv::build();
@@ -246,9 +196,16 @@ fn build_env_and_trace(sc: &Scenario) -> (IndoorEnvironment, MobilityTrace) {
                 ..Default::default()
             };
             let trace = meeting::generate(&menv, &params, &mut rng);
-            (menv.env, trace)
+            Ok((menv.env, trace))
         }
-        (env_spec, MobilitySpec::RandomWalk { population, mean_dwell_secs, span_mins }) => {
+        (
+            env_spec,
+            MobilitySpec::RandomWalk {
+                population,
+                mean_dwell_secs,
+                span_mins,
+            },
+        ) => {
             let env = match env_spec {
                 EnvSpec::Figure4 => Figure4::build().env,
                 EnvSpec::OfficeWing { offices } => office_wing(*offices),
@@ -261,10 +218,57 @@ fn build_env_and_trace(sc: &Scenario) -> (IndoorEnvironment, MobilityTrace) {
                 ..Default::default()
             };
             let trace = random_walk::generate(&env, &params, &mut rng);
-            (env, trace)
+            Ok((env, trace))
         }
-        (e, m) => panic!("incompatible environment {e:?} and mobility {m:?}"),
+        (e, m) => Err(ControlError::IncompatibleScenario {
+            environment: format!("{e:?}"),
+            combined_with: format!("{m:?}"),
+        }),
     }
+}
+
+/// Reject parameter values that would otherwise trip asserts deep in the
+/// samplers (a zero mean dwell reaches `SimRng::exp_duration`'s positive
+/// precondition) or build a nonsensical network. Scenarios arrive from
+/// JSON files, so these are recoverable errors, not panics.
+fn validate(sc: &Scenario) -> Result<(), ControlError> {
+    // `is_finite` first so NaN capacities are rejected too.
+    if !sc.cell_throughput_kbps.is_finite() || sc.cell_throughput_kbps <= 0.0 {
+        return Err(ControlError::BadParameter {
+            what: "cell_throughput_kbps",
+            value: sc.cell_throughput_kbps,
+        });
+    }
+    if !sc.backbone_kbps.is_finite() || sc.backbone_kbps <= 0.0 {
+        return Err(ControlError::BadParameter {
+            what: "backbone_kbps",
+            value: sc.backbone_kbps,
+        });
+    }
+    if !(0.0..1.0).contains(&sc.wireless_error) {
+        return Err(ControlError::BadParameter {
+            what: "wireless_error",
+            value: sc.wireless_error,
+        });
+    }
+    if let MobilitySpec::RandomWalk {
+        mean_dwell_secs: 0, ..
+    } = sc.mobility
+    {
+        return Err(ControlError::BadParameter {
+            what: "mean_dwell_secs",
+            value: 0.0,
+        });
+    }
+    if let WorkloadSpec::Fixed { kbps } = sc.workload {
+        if !kbps.is_finite() || kbps <= 0.0 {
+            return Err(ControlError::BadParameter {
+                what: "workload kbps",
+                value: kbps,
+            });
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -284,7 +288,7 @@ mod tests {
 
     #[test]
     fn sample_scenario_runs_clean() {
-        let report = run(&Scenario::sample());
+        let report = run(&Scenario::sample()).expect("valid scenario");
         assert_eq!(report.dropped, 0, "the paper strategy holds the lecture");
         assert!(report.requests > 35);
         assert!(report.moves > 100);
@@ -313,12 +317,11 @@ mod tests {
                 t_th_secs: 300,
                 seed: 5,
             };
-            let report = run(&sc);
+            let report = run(&sc).expect("valid scenario");
             assert!(report.moves > 0);
             assert_eq!(
                 report.handoff_attempts,
-                report.dropped
-                    + (report.handoff_attempts - report.dropped)
+                report.dropped + (report.handoff_attempts - report.dropped)
             );
         }
     }
@@ -329,20 +332,48 @@ mod tests {
             workload: WorkloadSpec::None,
             ..Scenario::sample()
         };
-        let report = run(&sc);
+        let report = run(&sc).expect("valid scenario");
         assert_eq!(report.requests, 0);
         assert_eq!(report.handoff_attempts, 0);
         assert!(report.moves > 0);
     }
 
     #[test]
-    #[should_panic(expected = "incompatible")]
-    fn incompatible_combo_panics() {
+    fn incompatible_combo_is_a_typed_error() {
         let sc = Scenario {
             environment: EnvSpec::Figure4,
             mobility: MobilitySpec::Meeting { attendees: 10 },
             ..Scenario::sample()
         };
-        run(&sc);
+        let err = run(&sc).expect_err("scenario-input mismatch must be recoverable");
+        assert!(matches!(err, ControlError::IncompatibleScenario { .. }));
+    }
+
+    #[test]
+    fn out_of_range_parameters_are_typed_errors() {
+        let zero_dwell = Scenario {
+            mobility: MobilitySpec::RandomWalk {
+                population: 5,
+                mean_dwell_secs: 0,
+                span_mins: 10,
+            },
+            ..Scenario::sample()
+        };
+        let nan_capacity = Scenario {
+            cell_throughput_kbps: f64::NAN,
+            ..Scenario::sample()
+        };
+        let certain_loss = Scenario {
+            wireless_error: 1.0,
+            ..Scenario::sample()
+        };
+        let free_workload = Scenario {
+            workload: WorkloadSpec::Fixed { kbps: 0.0 },
+            ..Scenario::sample()
+        };
+        for sc in [zero_dwell, nan_capacity, certain_loss, free_workload] {
+            let err = run(&sc).expect_err("out-of-range parameter must be recoverable");
+            assert!(matches!(err, ControlError::BadParameter { .. }), "{err}");
+        }
     }
 }

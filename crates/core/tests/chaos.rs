@@ -1,0 +1,102 @@
+//! Chaos soak: the §7.1 office case under randomized fault schedules.
+//!
+//! Twenty independently seeded [`FaultSchedule`]s replay against the
+//! full workweek scenario. `run_with_faults` asserts the degradation
+//! invariants (ledger consistency, per-connection floors, lossy maxmin
+//! convergence) after **every** event, so the assertions here only need
+//! to confirm the schedules actually exercised the fault paths — any
+//! invariant violation or panic inside the run fails the test on its
+//! own.
+//!
+//! The soak is split into chunks of five schedules so the test harness
+//! can run them on parallel threads.
+
+use arm_core::chaos::run_with_faults;
+use arm_core::scenario::{self, EnvSpec, MobilitySpec, Scenario, WorkloadSpec};
+use arm_core::Strategy;
+use arm_sim::{FaultSchedule, FaultScheduleParams, SimDuration, SimRng};
+
+fn office_scenario(seed: u64) -> Scenario {
+    Scenario {
+        name: "chaos-soak".into(),
+        environment: EnvSpec::Figure4,
+        mobility: MobilitySpec::OfficeCase,
+        workload: WorkloadSpec::Paper71,
+        strategy: Strategy::Paper,
+        cell_throughput_kbps: 1600.0,
+        backbone_kbps: 100_000.0,
+        wireless_error: 0.0,
+        t_th_secs: 300,
+        seed,
+    }
+}
+
+fn soak_params() -> FaultScheduleParams {
+    FaultScheduleParams {
+        span: SimDuration::from_mins(40 * 60), // the §7.1 workweek
+        links: 20,
+        zones: 1,
+        portables: 30,
+        ..FaultScheduleParams::default()
+    }
+}
+
+/// Run schedules seeded `seeds` against the office case. Invariants are
+/// asserted inside `run_with_faults` after every event.
+fn soak(seeds: std::ops::Range<u64>) {
+    let sc = office_scenario(11);
+    let params = soak_params();
+    for seed in seeds {
+        let sched = FaultSchedule::generate(&params, &SimRng::new(seed));
+        assert!(!sched.is_empty(), "schedule {seed} generated no faults");
+        let out = run_with_faults(&sc, &sched)
+            .unwrap_or_else(|e| panic!("schedule {seed}: scenario rejected: {e}"));
+        assert_eq!(
+            out.faults_applied,
+            sched.len(),
+            "schedule {seed}: every fault must be applied"
+        );
+        assert!(
+            out.invariant_checks > 0,
+            "schedule {seed}: invariants must be swept"
+        );
+        assert!(
+            out.report.requests > 0,
+            "schedule {seed}: the workload must still run"
+        );
+    }
+}
+
+#[test]
+fn soak_schedules_00_to_04() {
+    soak(0..5);
+}
+
+#[test]
+fn soak_schedules_05_to_09() {
+    soak(5..10);
+}
+
+#[test]
+fn soak_schedules_10_to_14() {
+    soak(10..15);
+}
+
+#[test]
+fn soak_schedules_15_to_19() {
+    soak(15..20);
+}
+
+/// The acceptance bar for the fault layer's zero-cost claim: a chaos run
+/// with the empty schedule produces a report bit-identical to the plain
+/// §7 runner.
+#[test]
+fn empty_schedule_reproduces_the_plain_run_bit_for_bit() {
+    let sc = office_scenario(42);
+    let plain = scenario::run(&sc).expect("valid scenario");
+    let chaos = run_with_faults(&sc, &FaultSchedule::empty()).expect("valid scenario");
+    assert_eq!(format!("{plain:?}"), format!("{:?}", chaos.report));
+    assert_eq!(chaos.faults_applied, 0);
+    assert_eq!(chaos.invariant_checks, 0);
+    assert_eq!(chaos.lossy_maxmin_checks, 0);
+}

@@ -125,7 +125,9 @@ proptest! {
                 }
                 Op::Fade { cell, frac_idx } => {
                     let c = cells[cell as usize % cells.len()];
-                    let victims = mgr.channel_change(c, fade(frac_idx), now);
+                    let victims = mgr
+                        .channel_change(c, fade(frac_idx), now)
+                        .expect("fade fractions are valid");
                     for id in victims {
                         conns.retain(|_, c| *c != id);
                     }

@@ -12,9 +12,24 @@
 //! generator emits a deterministic, time-sorted event list the resource
 //! manager replays against its links.
 
+use std::fmt;
+
 use arm_net::ids::CellId;
 use arm_sim::{SimDuration, SimRng, SimTime};
 use serde::{Deserialize, Serialize};
+
+/// Rejected channel parameters: `bad_fraction` outside `(0, 1]` (the
+/// faded medium must retain *some* capacity and cannot exceed nominal).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BadFractionError(pub f64);
+
+impl fmt::Display for BadFractionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad_fraction must be in (0, 1], got {}", self.0)
+    }
+}
+
+impl std::error::Error for BadFractionError {}
 
 /// One effective-capacity change.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -49,17 +64,18 @@ impl Default for ChannelParams {
 }
 
 /// Generate the fade/recover event sequence for one cell over `span`.
-/// The medium starts good; events alternate bad/good.
+/// The medium starts good; events alternate bad/good. Rejects a
+/// `bad_fraction` outside `(0, 1]` — parameters arrive from scenario
+/// files, so this is an error, not a panic.
 pub fn generate(
     cell: CellId,
     params: &ChannelParams,
     span: SimDuration,
     rng: &mut SimRng,
-) -> Vec<ChannelEvent> {
-    assert!(
-        params.bad_fraction > 0.0 && params.bad_fraction <= 1.0,
-        "bad_fraction must be in (0, 1]"
-    );
+) -> Result<Vec<ChannelEvent>, BadFractionError> {
+    if !(params.bad_fraction > 0.0 && params.bad_fraction <= 1.0) {
+        return Err(BadFractionError(params.bad_fraction));
+    }
     let mut rng = rng.split_index("channel", cell.0 as u64);
     let mut out = Vec::new();
     let mut t = SimTime::ZERO;
@@ -90,7 +106,7 @@ pub fn generate(
             effective_fraction: 1.0,
         });
     }
-    out
+    Ok(out)
 }
 
 /// Generate and merge the sequences of several cells.
@@ -99,13 +115,13 @@ pub fn generate_all(
     params: &ChannelParams,
     span: SimDuration,
     rng: &mut SimRng,
-) -> Vec<ChannelEvent> {
-    let mut out: Vec<ChannelEvent> = cells
-        .iter()
-        .flat_map(|c| generate(*c, params, span, rng))
-        .collect();
+) -> Result<Vec<ChannelEvent>, BadFractionError> {
+    let mut out = Vec::new();
+    for c in cells {
+        out.extend(generate(*c, params, span, rng)?);
+    }
     out.sort_by(|a, b| a.time.cmp(&b.time).then(a.cell.cmp(&b.cell)));
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -120,7 +136,8 @@ mod tests {
             &params,
             SimDuration::from_mins(120),
             &mut SimRng::new(4),
-        );
+        )
+        .expect("valid params");
         assert!(!evs.is_empty(), "two hours should see some fades");
         // Alternating bad/good, starting bad.
         for (i, e) in evs.iter().enumerate() {
@@ -148,7 +165,8 @@ mod tests {
             &params,
             SimDuration::from_secs(500_000),
             &mut SimRng::new(9),
-        );
+        )
+        .expect("valid params");
         // Mean bad sojourn ≈ 25 s.
         let mut bad_total = 0.0;
         let mut bad_count = 0;
@@ -175,7 +193,8 @@ mod tests {
             &params,
             SimDuration::from_mins(120),
             &mut rng,
-        );
+        )
+        .expect("valid params");
         let c0: Vec<_> = evs.iter().filter(|e| e.cell == CellId(0)).collect();
         let c1: Vec<_> = evs.iter().filter(|e| e.cell == CellId(1)).collect();
         assert!(!c0.is_empty() && !c1.is_empty());
@@ -188,17 +207,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "bad_fraction")]
-    fn zero_fraction_rejected() {
-        let params = ChannelParams {
-            bad_fraction: 0.0,
-            ..Default::default()
-        };
-        generate(
-            CellId(0),
-            &params,
-            SimDuration::from_mins(10),
-            &mut SimRng::new(1),
-        );
+    fn out_of_range_fractions_are_typed_errors() {
+        for bad in [0.0, -1.0, 1.5, f64::NAN] {
+            let params = ChannelParams {
+                bad_fraction: bad,
+                ..Default::default()
+            };
+            let err = generate(
+                CellId(0),
+                &params,
+                SimDuration::from_mins(10),
+                &mut SimRng::new(1),
+            )
+            .expect_err("fraction outside (0, 1] must be rejected");
+            assert!(err.0.is_nan() && bad.is_nan() || err.0 == bad);
+        }
     }
 }

@@ -111,9 +111,7 @@ impl IndoorEnvironment {
 
     /// Find a cell by name.
     pub fn by_name(&self, name: &str) -> Option<CellId> {
-        self.cells()
-            .find(|(_, c)| c.name == name)
-            .map(|(id, _)| id)
+        self.cells().find(|(_, c)| c.name == name).map(|(id, _)| id)
     }
 
     /// Materialise into a network: one cell per environment cell (same
@@ -303,15 +301,8 @@ mod tests {
         f4.env.seed_profiles(&mut server);
         assert_eq!(server.cell(f4.a).unwrap().class, CellClass::Office);
         assert!(server.cell(f4.a).unwrap().is_occupant(f4.faculty));
-        assert_eq!(
-            server.cell(f4.c).unwrap().class,
-            CellClass::Corridor
-        );
-        assert!(server
-            .cell(f4.d)
-            .unwrap()
-            .neighbors
-            .contains(&f4.e));
+        assert_eq!(server.cell(f4.c).unwrap().class, CellClass::Corridor);
+        assert!(server.cell(f4.d).unwrap().neighbors.contains(&f4.e));
     }
 
     #[test]
@@ -322,7 +313,8 @@ mod tests {
         assert_eq!(env.cells_of_class(CellClass::Office).len(), 4);
         assert_eq!(env.cells_of_class(CellClass::Corridor).len(), 4);
         assert_eq!(
-            env.cells_of_class(CellClass::Lounge(LoungeKind::MeetingRoom)).len(),
+            env.cells_of_class(CellClass::Lounge(LoungeKind::MeetingRoom))
+                .len(),
             1
         );
         let m = env.by_name("meeting-room").unwrap();

@@ -172,11 +172,13 @@ mod tests {
     fn at_time_jumps_forward() {
         let f4 = Figure4::build();
         let mut w = Walker::new(&f4.env, PortableId(9), SimTime::ZERO);
-        w.appear(f4.c).at_time(SimTime::from_mins(10)).step_to(
-            f4.d,
-            SimDuration::from_secs(10),
-        );
+        w.appear(f4.c)
+            .at_time(SimTime::from_mins(10))
+            .step_to(f4.d, SimDuration::from_secs(10));
         let t = w.into_trace();
-        assert_eq!(t.events()[1].time, SimTime::from_mins(10) + SimDuration::from_secs(10));
+        assert_eq!(
+            t.events()[1].time,
+            SimTime::from_mins(10) + SimDuration::from_secs(10)
+        );
     }
 }

@@ -149,10 +149,8 @@ pub fn generate(menv: &MeetingEnv, params: &MeetingParams, rng: &mut SimRng) -> 
         // Sit through the class.
         wk.at_time(leave_at);
         let exit_west = rng.chance(0.5);
-        wk.step_to(menv.x, hop(&mut rng)).step_to(
-            if exit_west { menv.w } else { menv.y },
-            hop(&mut rng),
-        );
+        wk.step_to(menv.x, hop(&mut rng))
+            .step_to(if exit_west { menv.w } else { menv.y }, hop(&mut rng));
         trace = trace.merge(wk.into_trace());
     }
 
@@ -239,7 +237,10 @@ mod tests {
         let into_corridor = trace.events().iter().filter(|e| e.to == menv.x).count();
         // Figure 5.b: walk-by traffic means the corridor activity strictly
         // dominates the classroom's.
-        assert!(into_corridor > into_class, "{into_corridor} vs {into_class}");
+        assert!(
+            into_corridor > into_class,
+            "{into_corridor} vs {into_class}"
+        );
     }
 
     #[test]
@@ -257,12 +258,8 @@ mod tests {
         };
         let tq = generate(&menv, &quiet, &mut SimRng::new(9));
         let tb = generate(&menv, &busy, &mut SimRng::new(9));
-        let walkers = |t: &MobilityTrace| {
-            t.portables()
-                .iter()
-                .filter(|p| p.0 >= WALKBY_BASE)
-                .count()
-        };
+        let walkers =
+            |t: &MobilityTrace| t.portables().iter().filter(|p| p.0 >= WALKBY_BASE).count();
         assert!(walkers(&tb) > walkers(&tq) * 4);
     }
 
@@ -275,9 +272,7 @@ mod tests {
         // clearly exceed a mid-class window of equal length.
         let arrivals = trace.arrivals_series(menv.x, SimDuration::from_mins(1));
         let v = arrivals.values();
-        let sum = |lo: usize, hi: usize| -> f64 {
-            v.iter().skip(lo).take(hi - lo).sum()
-        };
+        let sum = |lo: usize, hi: usize| -> f64 { v.iter().skip(lo).take(hi - lo).sum() };
         let surge = sum(20, 32); // minutes 20–32 (class starts at 30)
         let mid = sum(45, 57); // quiet mid-class window
         assert!(surge > mid * 2.0, "surge {surge} vs mid {mid}");
@@ -291,9 +286,6 @@ mod tests {
             ..Default::default()
         };
         let trace = generate(&menv, &lab, &mut SimRng::new(5));
-        assert_eq!(
-            trace.events().iter().filter(|e| e.to == menv.m).count(),
-            55
-        );
+        assert_eq!(trace.events().iter().filter(|e| e.to == menv.m).count(), 55);
     }
 }

@@ -178,7 +178,9 @@ fn person_trace(
         let visit = SimDuration::from_secs(rng.int_range(120, 420));
         match dest {
             Destination::OfficeA => {
-                w.step_to(f4.a, hop(rng)).dwell(visit).step_to(f4.d, hop(rng));
+                w.step_to(f4.a, hop(rng))
+                    .dwell(visit)
+                    .step_to(f4.d, hop(rng));
             }
             Destination::OfficeB => {
                 w.step_to(f4.e, hop(rng))

@@ -135,9 +135,7 @@ impl MobilityTrace {
             match (e.from, positions.get(&e.portable)) {
                 (None, None) => {}
                 (Some(f), Some(cur)) if f == *cur => {}
-                (None, Some(_)) => {
-                    return Err(format!("event {i}: {:?} re-appears", e.portable))
-                }
+                (None, Some(_)) => return Err(format!("event {i}: {:?} re-appears", e.portable)),
                 (Some(f), cur) => {
                     return Err(format!(
                         "event {i}: {:?} leaves {f:?} but is at {cur:?}",
@@ -177,7 +175,10 @@ mod tests {
         let t = t.finish();
         assert!(t.check_consistency().is_ok());
         assert_eq!(t.count_transition(CellId(0), CellId(1)), 1);
-        assert_eq!(t.count_transition_of(PortableId(1), CellId(1), CellId(0)), 1);
+        assert_eq!(
+            t.count_transition_of(PortableId(1), CellId(1), CellId(0)),
+            1
+        );
         assert_eq!(t.portables(), vec![PortableId(1)]);
     }
 

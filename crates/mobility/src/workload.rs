@@ -51,11 +51,7 @@ impl WorkloadMix {
     /// Expected bandwidth per sampled connection (kbps).
     pub fn mean_rate(&self) -> f64 {
         let total_w: f64 = self.entries.iter().map(|(w, _)| *w).sum();
-        self.entries
-            .iter()
-            .map(|(w, q)| w * q.b_min)
-            .sum::<f64>()
-            / total_w
+        self.entries.iter().map(|(w, q)| w * q.b_min).sum::<f64>() / total_w
     }
 
     /// The offered load of `n` users against a cell of `capacity` kbps —
@@ -138,8 +134,7 @@ pub fn poisson_arrivals(
             if ty.arrival_rate <= 0.0 {
                 continue;
             }
-            let mean_gap =
-                SimDuration::from_secs_f64(time_unit.as_secs_f64() / ty.arrival_rate);
+            let mean_gap = SimDuration::from_secs_f64(time_unit.as_secs_f64() / ty.arrival_rate);
             let mut t = SimTime::ZERO;
             loop {
                 t += rng.exp_duration(mean_gap);

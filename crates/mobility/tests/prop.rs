@@ -126,7 +126,8 @@ proptest! {
             &params,
             SimDuration::from_mins(120),
             &mut SimRng::new(seed),
-        );
+        )
+        .expect("in-range fraction");
         prop_assert!(evs.windows(2).all(|w| w[0].time <= w[1].time));
         for (i, e) in evs.iter().enumerate() {
             if i % 2 == 0 {

@@ -44,6 +44,12 @@ pub enum ResvClaim {
     /// "time-varying effective capacity of the wireless link". Installed
     /// by the channel monitor; not consumable by handoffs.
     Channel,
+    /// Capacity made unavailable by an injected link failure. Installed
+    /// by the resource manager's fault path (sized to the full link
+    /// speed; `set_claim` caps it to whatever headroom exists) so a dead
+    /// link admits nothing new; not consumable by handoffs and preserved
+    /// across claim refreshes until the link is restored.
+    Outage,
 }
 
 /// One connection's slice of the link.
@@ -476,10 +482,7 @@ mod tests {
         assert!(!l.admits(50.0));
         assert!(l.admits(40.0));
         assert_eq!(l.admit(cid(1), 10.0, 0.0), Err(LedgerError::DuplicateConn));
-        assert_eq!(
-            l.admit(cid(2), 50.0, 0.0),
-            Err(LedgerError::Overcommitted)
-        );
+        assert_eq!(l.admit(cid(2), 50.0, 0.0), Err(LedgerError::Overcommitted));
         let a = l.release(cid(1)).unwrap();
         assert_eq!(a.b_min, 60.0);
         assert_eq!(l.excess_available(), 100.0);

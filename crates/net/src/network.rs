@@ -312,9 +312,22 @@ mod tests {
 
     /// Install a connection with an explicit route (e.g. a local flow that
     /// only consumes its own cell's medium).
-    fn make_conn_on_route(net: &mut Network, cell: CellId, route: Route, qos: QosRequest) -> ConnId {
+    fn make_conn_on_route(
+        net: &mut Network,
+        cell: CellId,
+        route: Route,
+        qos: QosRequest,
+    ) -> ConnId {
         let id = net.next_conn_id();
-        let conn = Connection::new(id, PortableId(1), cell, NodeId(0), qos, route, SimTime::ZERO);
+        let conn = Connection::new(
+            id,
+            PortableId(1),
+            cell,
+            NodeId(0),
+            qos,
+            route,
+            SimTime::ZERO,
+        );
         net.install(conn);
         id
     }
@@ -322,7 +335,10 @@ mod tests {
     /// A route consuming only the given cell's wireless medium.
     fn local_route(net: &Network, cell: CellId) -> Route {
         Route {
-            nodes: vec![net.topology().air_node(cell), net.topology().base_station(cell)],
+            nodes: vec![
+                net.topology().air_node(cell),
+                net.topology().base_station(cell),
+            ],
             links: vec![net.topology().wireless_link(cell)],
         }
     }
@@ -420,4 +436,3 @@ mod tests {
         assert_eq!(net.connections_of_portable(PortableId(9)).count(), 0);
     }
 }
-

@@ -56,6 +56,18 @@ impl Route {
 ///
 /// Returns `None` when `dst` is unreachable.
 pub fn shortest_path(topo: &Topology, src: NodeId, dst: NodeId) -> Option<Route> {
+    shortest_path_avoiding(topo, src, dst, &std::collections::BTreeSet::new())
+}
+
+/// Shortest path from `src` to `dst` that traverses none of the links in
+/// `avoid` — used to route around failed links. Returns `None` when no
+/// such path exists.
+pub fn shortest_path_avoiding(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    avoid: &std::collections::BTreeSet<LinkId>,
+) -> Option<Route> {
     if src == dst {
         return Some(Route::trivial(src));
     }
@@ -94,6 +106,9 @@ pub fn shortest_path(topo: &Topology, src: NodeId, dst: NodeId) -> Option<Route>
             break;
         }
         for edge in topo.out_edges(NodeId::from_index(u)) {
+            if avoid.contains(&edge.link) {
+                continue;
+            }
             let v = edge.to.index();
             let spec = topo.link(edge.link);
             let cand = Cost {
@@ -185,6 +200,29 @@ mod tests {
         let a = t.add_switch("a");
         let b = t.add_switch("b");
         assert!(shortest_path(&t, a, b).is_none());
+    }
+
+    #[test]
+    fn avoiding_a_failed_link_takes_the_detour() {
+        let mut t = Topology::new();
+        let a = t.add_switch("a");
+        let b = t.add_switch("b");
+        let c = t.add_switch("c");
+        t.add_wired_simplex(a, b, 100.0, 0.001);
+        t.add_wired_simplex(a, c, 100.0, 0.001);
+        t.add_wired_simplex(c, b, 100.0, 0.001);
+        let direct = shortest_path(&t, a, b).unwrap();
+        assert_eq!(direct.hop_count(), 1);
+        let mut avoid = std::collections::BTreeSet::new();
+        avoid.insert(direct.links[0]);
+        let detour = shortest_path_avoiding(&t, a, b, &avoid).unwrap();
+        assert_eq!(detour.hop_count(), 2);
+        assert!(!detour.uses_link(direct.links[0]));
+        // Avoiding every outbound link makes the destination unreachable.
+        for e in t.out_edges(a) {
+            avoid.insert(e.link);
+        }
+        assert!(shortest_path_avoiding(&t, a, b, &avoid).is_none());
     }
 
     #[test]

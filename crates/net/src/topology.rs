@@ -281,10 +281,7 @@ mod tests {
         assert_eq!(t.link_count(), 6); // 2 wireless + 4 wired simplex halves
         assert_eq!(t.link(t.wireless_link(c0)).wireless_cell, Some(c0));
         assert_eq!(t.link(t.wireless_link(c0)).capacity, 1600.0);
-        assert_eq!(
-            t.node(t.base_station(c1)).kind,
-            NodeKind::BaseStation(c1)
-        );
+        assert_eq!(t.node(t.base_station(c1)).kind, NodeKind::BaseStation(c1));
         assert_eq!(t.node(t.air_node(c1)).kind, NodeKind::Air(c1));
     }
 

@@ -18,8 +18,11 @@ enum Op {
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0u32..8, 0.1f64..50.0, 0.0f64..10.0)
-            .prop_map(|(conn, b_min, buffer)| Op::Admit { conn, b_min, buffer }),
+        (0u32..8, 0.1f64..50.0, 0.0f64..10.0).prop_map(|(conn, b_min, buffer)| Op::Admit {
+            conn,
+            b_min,
+            buffer
+        }),
         (0u32..8).prop_map(|conn| Op::Release { conn }),
         (0u32..8, 0.0f64..120.0).prop_map(|(conn, b)| Op::SetAlloc { conn, b }),
         (0u8..4, 0.0f64..80.0).prop_map(|(key, amount)| Op::SetClaim { key, amount }),

@@ -152,7 +152,7 @@ mod tests {
             c.record(ev(i, Some(49), 51));
         }
         c.record(ev(9, Some(49), 49)); // one turns back
-        // …and vice versa.
+                                       // …and vice versa.
         for i in 10..14 {
             c.record(ev(i, Some(51), 49));
         }

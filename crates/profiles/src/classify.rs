@@ -164,15 +164,11 @@ pub fn features(profile: &CellProfile, slot: SimDuration) -> CellFeatures {
         let mean_delta = if series.len() < 2 {
             0.0
         } else {
-            series
-                .windows(2)
-                .map(|w| (w[1] - w[0]).abs())
-                .sum::<f64>()
-                / (series.len() - 1) as f64
+            series.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (series.len() - 1) as f64
         };
         let smoothness = if mean == 0.0 { 0.0 } else { mean_delta / mean };
-        let var: f64 = series.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-            / series.len() as f64;
+        let var: f64 =
+            series.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / series.len() as f64;
         let autocorr = if var == 0.0 || series.len() < 3 {
             0.0
         } else {
@@ -335,7 +331,12 @@ mod tests {
         let levels = [2, 3, 4, 5, 6, 6, 5, 4, 3, 2, 2, 3, 4, 5, 6, 6, 5, 4, 3, 2];
         for (slot, lvl) in levels.iter().enumerate() {
             for k in 0..*lvl {
-                evs.push(hev(id, (id % 7) + 1, (id % 5) + 10, slot as u64 * 5 + (k % 5) as u64));
+                evs.push(hev(
+                    id,
+                    (id % 7) + 1,
+                    (id % 5) + 10,
+                    slot as u64 * 5 + (k % 5) as u64,
+                ));
                 id += 1;
             }
         }
@@ -355,7 +356,12 @@ mod tests {
         let mut id = 0u32;
         for (slot, lvl) in levels.iter().enumerate() {
             for k in 0..*lvl {
-                evs.push(hev(id, (id % 7) + 1, (id % 5) + 10, slot as u64 * 5 + (k % 5) as u64));
+                evs.push(hev(
+                    id,
+                    (id % 7) + 1,
+                    (id % 5) + 10,
+                    slot as u64 * 5 + (k % 5) as u64,
+                ));
                 id += 1;
             }
         }
@@ -411,7 +417,11 @@ mod tests {
         for i in 0..40u32 {
             // prev == next == cell 5 (the corridor outside); bursts at
             // minutes 0–5 and 50–55.
-            let t = if i < 20 { (i % 6) as u64 } else { 250 + (i % 6) as u64 };
+            let t = if i < 20 {
+                (i % 6) as u64
+            } else {
+                250 + (i % 6) as u64
+            };
             evs.push(hev(i, 5, 5, t));
         }
         let c = cell_with(evs);

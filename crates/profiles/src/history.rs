@@ -133,13 +133,13 @@ mod tests {
         h.record(ev(1, Some(0), 1, 2));
         h.record(ev(1, Some(0), 1, 3));
         h.record(ev(2, Some(0), 1, 3)); // different portable
-        let (next, n, total) = h
-            .most_common_next(|e| e.portable == PortableId(1))
-            .unwrap();
+        let (next, n, total) = h.most_common_next(|e| e.portable == PortableId(1)).unwrap();
         assert_eq!(next, CellId(2));
         assert_eq!(n, 2);
         assert_eq!(total, 3);
-        assert!(h.most_common_next(|e| e.portable == PortableId(9)).is_none());
+        assert!(h
+            .most_common_next(|e| e.portable == PortableId(9))
+            .is_none());
     }
 
     #[test]

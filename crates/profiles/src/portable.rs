@@ -115,7 +115,10 @@ mod tests {
         for _ in 0..3 {
             p.record(ev(Some(2), 3, 11));
         }
-        assert_eq!(p.next_predicted(Some(CellId(2)), CellId(3)), Some(CellId(10)));
+        assert_eq!(
+            p.next_predicted(Some(CellId(2)), CellId(3)),
+            Some(CellId(10))
+        );
         // Different context: no triplet.
         assert_eq!(p.next_predicted(Some(CellId(9)), CellId(3)), None);
     }
@@ -126,12 +129,18 @@ mod tests {
         for _ in 0..10 {
             p.record(ev(Some(1), 2, 3));
         }
-        assert_eq!(p.next_predicted(Some(CellId(1)), CellId(2)), Some(CellId(3)));
+        assert_eq!(
+            p.next_predicted(Some(CellId(1)), CellId(2)),
+            Some(CellId(3))
+        );
         // The user's habit changes; the bounded history forgets.
         for _ in 0..10 {
             p.record(ev(Some(1), 2, 4));
         }
-        assert_eq!(p.next_predicted(Some(CellId(1)), CellId(2)), Some(CellId(4)));
+        assert_eq!(
+            p.next_predicted(Some(CellId(1)), CellId(2)),
+            Some(CellId(4))
+        );
     }
 
     #[test]

@@ -88,9 +88,7 @@ impl ProfileServer {
         class: CellClass,
         neighbors: impl IntoIterator<Item = CellId>,
     ) {
-        self.register_cell(
-            CellProfile::new(cell, class, self.n_pc).with_neighbors(neighbors),
-        );
+        self.register_cell(CellProfile::new(cell, class, self.n_pc).with_neighbors(neighbors));
     }
 
     /// Cell profile lookup.
@@ -170,7 +168,12 @@ impl ProfileServer {
     }
 
     /// Run the three-level prediction for an explicit context.
-    pub fn predict_at(&self, portable: PortableId, prev: Option<CellId>, cur: CellId) -> Prediction {
+    pub fn predict_at(
+        &self,
+        portable: PortableId,
+        prev: Option<CellId>,
+        cur: CellId,
+    ) -> Prediction {
         let fallback = Prediction {
             cell: None,
             level: crate::prediction::PredictionLevel::Default,
@@ -243,10 +246,17 @@ mod tests {
         s.portable_entered(PortableId(5), CellId(0));
         // Portable 5 habitually moves 3 → 0 → 2.
         for _ in 0..5 {
-            s.record_handoff(PortableId(5), Some(CellId(3)), CellId(0), CellId(2), SimTime::ZERO);
+            s.record_handoff(
+                PortableId(5),
+                Some(CellId(3)),
+                CellId(0),
+                CellId(2),
+                SimTime::ZERO,
+            );
         }
         // Re-establish the context as "came from 3, now in 0".
-        s.contexts.insert(PortableId(5), (Some(CellId(3)), CellId(0)));
+        s.contexts
+            .insert(PortableId(5), (Some(CellId(3)), CellId(0)));
         let pred = s.predict(PortableId(5));
         assert_eq!(pred.cell, Some(CellId(2)));
         assert_eq!(pred.level, PredictionLevel::PortableProfile);
@@ -269,10 +279,17 @@ mod tests {
         let mut s = server();
         // Many strangers flow 1 → 0 → 3.
         for i in 10..20 {
-            s.record_handoff(PortableId(i), Some(CellId(1)), CellId(0), CellId(3), SimTime::ZERO);
+            s.record_handoff(
+                PortableId(i),
+                Some(CellId(1)),
+                CellId(0),
+                CellId(3),
+                SimTime::ZERO,
+            );
         }
         s.portable_entered(PortableId(99), CellId(0));
-        s.contexts.insert(PortableId(99), (Some(CellId(1)), CellId(0)));
+        s.contexts
+            .insert(PortableId(99), (Some(CellId(1)), CellId(0)));
         let pred = s.predict(PortableId(99));
         // Portable 99's own single-context profile is empty; but wait —
         // it has no profile history at all, so level 2b fires.
@@ -297,7 +314,13 @@ mod tests {
         let mut s2 = ProfileServer::new(ZoneId(1));
         s2.register_cell_simple(CellId(9), CellClass::Corridor, []);
         s1.portable_entered(PortableId(5), CellId(0));
-        s1.record_handoff(PortableId(5), Some(CellId(3)), CellId(0), CellId(2), SimTime::ZERO);
+        s1.record_handoff(
+            PortableId(5),
+            Some(CellId(3)),
+            CellId(0),
+            CellId(2),
+            SimTime::ZERO,
+        );
         let profile = s1.extract_portable(PortableId(5)).expect("profile exists");
         assert!(s1.portable(PortableId(5)).is_none());
         assert_eq!(profile.history_len(), 1);

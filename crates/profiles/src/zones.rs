@@ -164,11 +164,8 @@ impl ZonedProfiles {
             Some(cp) => cp,
             None => return fallback,
         };
-        let neighbor_profiles: Vec<&CellProfile> = cp
-            .neighbors
-            .iter()
-            .filter_map(|n| self.cell(*n))
-            .collect();
+        let neighbor_profiles: Vec<&CellProfile> =
+            cp.neighbors.iter().filter_map(|n| self.cell(*n)).collect();
         let portable_profile = self
             .portable_zone
             .get(&p)

@@ -174,7 +174,10 @@ mod tests {
         assert_eq!(decide(10.0, 12.0, 10.0, false, 1.0), AdaptDecision::None);
         assert_eq!(decide(10.0, 10.5, 10.0, true, 1.0), AdaptDecision::None);
         // Negative excess demands renegotiation.
-        assert_eq!(decide(10.0, -2.0, 6.0, true, 1.0), AdaptDecision::Renegotiate);
+        assert_eq!(
+            decide(10.0, -2.0, 6.0, true, 1.0),
+            AdaptDecision::Renegotiate
+        );
         // Equal excess, no growth beyond shares: nothing to do.
         assert_eq!(decide(10.0, 10.0, 10.0, true, 1.0), AdaptDecision::None);
     }

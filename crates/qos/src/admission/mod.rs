@@ -208,7 +208,11 @@ pub fn admit(net: &mut Network, req: AdmissionRequest) -> Result<AdmissionOutcom
         let buf = match req.discipline {
             Discipline::Wfq => wfq::buffer_demand(sigma, l_max, hop),
             Discipline::Rcsp => {
-                let d_prev = if hop == 1 { None } else { Some(hop_delays[hop0 - 1]) };
+                let d_prev = if hop == 1 {
+                    None
+                } else {
+                    Some(hop_delays[hop0 - 1])
+                };
                 rcsp::buffer_demand(sigma, l_max, qos.b_max, d_prev, d_l)
             }
         };
@@ -266,7 +270,11 @@ pub fn admit(net: &mut Network, req: AdmissionRequest) -> Result<AdmissionOutcom
             match req.discipline {
                 Discipline::Wfq => wfq::buffer_demand(sigma, l_max, hop),
                 Discipline::Rcsp => {
-                    let d_prev = if hop == 1 { None } else { Some(budgets[hop0 - 1]) };
+                    let d_prev = if hop == 1 {
+                        None
+                    } else {
+                        Some(budgets[hop0 - 1])
+                    };
                     rcsp::buffer_reserved(sigma, l_max, b_granted, d_prev, budgets[hop0])
                 }
             }
@@ -302,10 +310,7 @@ pub fn admit(net: &mut Network, req: AdmissionRequest) -> Result<AdmissionOutcom
     }
 
     Ok(AdmissionOutcome {
-        b_granted: net
-            .get(req.conn)
-            .map(|c| c.b_current)
-            .unwrap_or(b_granted),
+        b_granted: net.get(req.conn).map(|c| c.b_current).unwrap_or(b_granted),
         b_stamp,
         d_min,
         hop_delay_budgets: budgets,

@@ -89,7 +89,11 @@ fn static_portable_granted_excess_share() {
     .expect("feasible");
     // Empty network: advertised rate = full excess, so the stamped rate
     // is the demand (b_max − b_min) and the grant reaches b_max.
-    assert!((out.b_stamp - 536.0).abs() < 1e-6, "b_stamp={}", out.b_stamp);
+    assert!(
+        (out.b_stamp - 536.0).abs() < 1e-6,
+        "b_stamp={}",
+        out.b_stamp
+    );
     assert!((out.b_granted - 600.0).abs() < 1e-6);
     assert!((net.get(id).unwrap().b_current - 600.0).abs() < 1e-6);
     assert!(net.check_invariants().is_ok());
@@ -99,9 +103,19 @@ fn static_portable_granted_excess_share() {
 fn bandwidth_rejection_names_the_bottleneck_link() {
     let (mut net, c0, c1) = testbed();
     // Fill cell 1's medium.
-    let filler = install(&mut net, c1, c0, QosRequest::fixed(1550.0).with_delay(10.0).with_jitter(50.0));
+    let filler = install(
+        &mut net,
+        c1,
+        c0,
+        QosRequest::fixed(1550.0).with_delay(10.0).with_jitter(50.0),
+    );
     admit(&mut net, req(filler)).expect("filler fits");
-    let id = install(&mut net, c0, c1, QosRequest::fixed(100.0).with_delay(10.0).with_jitter(50.0));
+    let id = install(
+        &mut net,
+        c0,
+        c1,
+        QosRequest::fixed(100.0).with_delay(10.0).with_jitter(50.0),
+    );
     let rej = admit(&mut net, req(id)).unwrap_err();
     assert_eq!(rej.test, TestKind::Bandwidth);
     // The forward pass hits cell 0's medium first — still feasible — and
@@ -176,7 +190,11 @@ fn relaxed_budgets_sum_to_the_delay_bound() {
         "uniform relaxation must exhaust the bound: {total}"
     );
     // Every relaxed budget exceeds its worst-case component.
-    for (b, wl) in out.hop_delay_budgets.iter().zip(&net.get(id).unwrap().route.links) {
+    for (b, wl) in out
+        .hop_delay_budgets
+        .iter()
+        .zip(&net.get(id).unwrap().route.links)
+    {
         let c = net.link(*wl).capacity();
         assert!(*b >= 1.0 / 64.0 + 1.0 / c);
     }
@@ -205,7 +223,12 @@ fn handoff_consumes_its_own_claim() {
         id
     };
     admit(&mut net, req(filler)).unwrap();
-    let id = install(&mut net, c0, c1, QosRequest::fixed(150.0).with_delay(10.0).with_jitter(50.0));
+    let id = install(
+        &mut net,
+        c0,
+        c1,
+        QosRequest::fixed(150.0).with_delay(10.0).with_jitter(50.0),
+    );
     let wl1 = net.topology().wireless_link(c1);
     net.link_mut(wl1).set_claim(ResvClaim::Conn(id), 100.0);
     // As a *new* connection it doesn't fit (1400 + 100 claim + 150 > 1600)...
@@ -221,7 +244,11 @@ fn handoff_consumes_its_own_claim() {
     )
     .expect("handoff fits via its claim");
     assert_eq!(out.b_granted, 150.0);
-    assert_eq!(net.link(wl1).claim(ResvClaim::Conn(id)), 0.0, "claim consumed");
+    assert_eq!(
+        net.link(wl1).claim(ResvClaim::Conn(id)),
+        0.0,
+        "claim consumed"
+    );
     assert!(net.check_invariants().is_ok());
 }
 

@@ -66,11 +66,9 @@ pub fn resolve_network_with_policy(
     }
     // Solve maxmin over static connections only.
     let mut problem = MaxminProblem::from_network(net);
-    problem.conns.retain(|id, _| {
-        net.get(*id)
-            .map(|c| is_static(c.portable))
-            .unwrap_or(false)
-    });
+    problem
+        .conns
+        .retain(|id, _| net.get(*id).map(|c| is_static(c.portable)).unwrap_or(false));
     let alloc = problem.solve();
     let changed = alloc
         .iter()

@@ -46,7 +46,11 @@ pub fn advertised_rate(excess: f64, recorded: &[f64]) -> f64 {
 /// `mu`, then apply the three-case formula.
 fn recalc(excess: f64, recorded: &[f64], mu: f64) -> f64 {
     let n = recorded.len();
-    let restricted: Vec<f64> = recorded.iter().copied().filter(|r| *r <= mu + EPS).collect();
+    let restricted: Vec<f64> = recorded
+        .iter()
+        .copied()
+        .filter(|r| *r <= mu + EPS)
+        .collect();
     let n_r = restricted.len();
     let b_r: f64 = restricted.iter().sum();
     if n_r == 0 {

@@ -149,12 +149,7 @@ impl MaxminProblem {
     /// Is `link` a *connection bottleneck* for `conn` under `alloc`
     /// (§5.2): the link minimising the excess bandwidth available to the
     /// connection along its path, while the connection is unsatisfied?
-    pub fn is_connection_bottleneck(
-        &self,
-        alloc: &Allocation,
-        conn: ConnId,
-        link: LinkId,
-    ) -> bool {
+    pub fn is_connection_bottleneck(&self, alloc: &Allocation, conn: ConnId, link: LinkId) -> bool {
         let d = match self.conns.get(&conn) {
             Some(d) => d,
             None => return false,
@@ -298,7 +293,10 @@ mod tests {
 
     #[test]
     fn single_link_even_split() {
-        let p = problem(&[(0, 30.0)], &[(0, 100.0, &[0]), (1, 100.0, &[0]), (2, 100.0, &[0])]);
+        let p = problem(
+            &[(0, 30.0)],
+            &[(0, 100.0, &[0]), (1, 100.0, &[0]), (2, 100.0, &[0])],
+        );
         let a = p.solve();
         for c in 0..3 {
             assert!((a[&cid(c)] - 10.0).abs() < 1e-9);
@@ -308,7 +306,10 @@ mod tests {
 
     #[test]
     fn small_demand_frees_share_for_others() {
-        let p = problem(&[(0, 30.0)], &[(0, 4.0, &[0]), (1, 100.0, &[0]), (2, 100.0, &[0])]);
+        let p = problem(
+            &[(0, 30.0)],
+            &[(0, 4.0, &[0]), (1, 100.0, &[0]), (2, 100.0, &[0])],
+        );
         let a = p.solve();
         assert!((a[&cid(0)] - 4.0).abs() < 1e-9);
         assert!((a[&cid(1)] - 13.0).abs() < 1e-9);

@@ -57,7 +57,7 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use arm_net::ids::{ConnId, LinkId};
 use arm_sim::engine::{Ctx, Model};
-use arm_sim::SimDuration;
+use arm_sim::{SimDuration, SimRng};
 
 use super::advertised::advertised_rate_for;
 
@@ -105,6 +105,15 @@ pub struct Packet {
     origin: LinkId,
     /// Global id of the adaptation process this packet belongs to.
     gid: u64,
+    /// Round-trip phase (1–4) the packet belongs to; a retransmitted
+    /// round ignores stragglers from the aborted one.
+    phase: u32,
+    /// Retransmission attempt of that phase the packet was sent in.
+    attempt: u32,
+    /// The packet has not yet had its fault fate rolled. Faults are
+    /// decided once per packet (end-to-end), not per hop, so the loss
+    /// probability seen by a round trip is independent of route length.
+    fresh: bool,
     is_update: bool,
 }
 
@@ -121,6 +130,32 @@ pub enum Ev {
         /// New excess capacity `b'_av,l`.
         excess: f64,
     },
+    /// Retransmission timer for one phase attempt of a session. Armed
+    /// only when a fault drops one of that attempt's ADVERTISE packets,
+    /// so the event never exists in a fault-free run.
+    Timeout {
+        /// Session the timer guards.
+        gid: u64,
+        /// Phase the lost packet belonged to.
+        phase: u32,
+        /// Attempt the lost packet belonged to.
+        attempt: u32,
+    },
+}
+
+/// Seeded control-plane fault state (loss + reordering delay).
+#[derive(Clone, Debug)]
+struct ControlFaults {
+    rng: SimRng,
+    loss: f64,
+    delay_prob: f64,
+}
+
+/// What fault injection decided for one delivery.
+enum Fate {
+    Deliver,
+    Drop,
+    Delay(SimDuration),
 }
 
 /// Per-link control state.
@@ -153,6 +188,8 @@ struct Session {
     origin: LinkId,
     conn: ConnId,
     phase: u32,
+    /// Retransmission attempt of the current phase (0 = original send).
+    attempt: u32,
     up_returned: Option<f64>,
     down_returned: Option<f64>,
     gid: u64,
@@ -174,6 +211,12 @@ pub struct ProtocolStats {
     pub update_hops: u64,
     /// Adaptation processes run.
     pub sessions: u64,
+    /// Control packets killed by fault injection.
+    pub packets_lost: u64,
+    /// Control packets given a fault-injected extra delay.
+    pub packets_delayed: u64,
+    /// Phase retransmissions after a loss-recovery timeout.
+    pub retransmits: u64,
 }
 
 /// The protocol state machine; drive it with [`arm_sim::Engine`].
@@ -194,6 +237,9 @@ pub struct DistributedMaxmin {
     rates: BTreeMap<ConnId, f64>,
     next_gid: u64,
     stats: ProtocolStats,
+    /// Fault injection; `None` (the default) leaves every code path and
+    /// event sequence bit-identical to the pristine protocol.
+    faults: Option<ControlFaults>,
 }
 
 impl DistributedMaxmin {
@@ -212,7 +258,91 @@ impl DistributedMaxmin {
             rates: BTreeMap::new(),
             next_gid: 0,
             stats: ProtocolStats::default(),
+            faults: None,
         }
+    }
+
+    /// Install (or retune) seeded control-plane fault injection: each
+    /// control packet is independently dropped end-to-end with
+    /// probability `loss` and, surviving that, delayed — reordering it
+    /// against its peers — with probability `delay_prob`. Lost
+    /// ADVERTISE packets are recovered by per-phase retransmission with
+    /// capped exponential backoff, so the protocol still converges
+    /// under any `loss < 1`. Retuning keeps the existing fault rng
+    /// stream so a scenario stays deterministic across windows.
+    pub fn set_control_faults(&mut self, seed: u64, loss: f64, delay_prob: f64) {
+        let loss = loss.clamp(0.0, 0.999);
+        let delay_prob = delay_prob.clamp(0.0, 0.999);
+        match &mut self.faults {
+            Some(f) => {
+                f.loss = loss;
+                f.delay_prob = delay_prob;
+            }
+            None => {
+                self.faults = Some(ControlFaults {
+                    rng: SimRng::new(seed).split("ctrl-faults"),
+                    loss,
+                    delay_prob,
+                });
+            }
+        }
+    }
+
+    /// Remove fault injection; packets already in flight (including any
+    /// armed recovery timers) drain normally.
+    pub fn clear_control_faults(&mut self) {
+        self.faults = None;
+    }
+
+    /// Decide a packet's fate under the installed faults. Rolled only
+    /// at its first delivery (`fresh`), once per packet.
+    fn roll_fault(&mut self, pkt: &Packet) -> Fate {
+        let Some(f) = &mut self.faults else {
+            return Fate::Deliver;
+        };
+        if !pkt.fresh {
+            return Fate::Deliver;
+        }
+        if f.loss > 0.0 && f.rng.chance(f.loss) {
+            return Fate::Drop;
+        }
+        if f.delay_prob > 0.0 && f.rng.chance(f.delay_prob) {
+            let extra_hops = 1 + f.rng.int_range(0, 3);
+            return Fate::Delay(self.hop_latency * extra_hops);
+        }
+        Fate::Deliver
+    }
+
+    /// A fault killed `pkt`. If it was an ADVERTISE of the active
+    /// session, arm the recovery timer that will retransmit the phase;
+    /// stale packets and UPDATEs (whose recorded rates were already
+    /// fixed synchronously) need no recovery.
+    fn arm_recovery(&mut self, pkt: &Packet, ctx: &mut Ctx<'_, Ev>) {
+        if pkt.is_update {
+            return;
+        }
+        let live = self
+            .active
+            .as_ref()
+            .is_some_and(|s| s.gid == pkt.gid && s.phase == pkt.phase);
+        if live {
+            ctx.schedule_after(
+                self.retransmit_backoff(pkt.conn, pkt.attempt),
+                Ev::Timeout {
+                    gid: pkt.gid,
+                    phase: pkt.phase,
+                    attempt: pkt.attempt,
+                },
+            );
+        }
+    }
+
+    /// Capped exponential backoff before retransmitting a phase: a
+    /// generous round-trip estimate, doubled per attempt up to 2⁵×.
+    fn retransmit_backoff(&self, conn: ConnId, attempt: u32) -> SimDuration {
+        let hops = self.conns.get(&conn).map(|c| c.links.len()).unwrap_or(1) as u64;
+        let base = self.hop_latency * (2 * hops + 4);
+        base.saturating_mul(1u64 << attempt.min(5))
     }
 
     /// Declare a link and its initial excess capacity.
@@ -273,10 +403,7 @@ impl DistributedMaxmin {
 
     /// The rate `link` currently quotes to `conn`.
     pub fn link_mu_for(&self, link: LinkId, conn: ConnId) -> f64 {
-        self.links
-            .get(&link)
-            .map(|l| l.mu_for(conn))
-            .unwrap_or(0.0)
+        self.links.get(&link).map(|l| l.mu_for(conn)).unwrap_or(0.0)
     }
 
     /// Current `M(l)` of a link.
@@ -335,6 +462,7 @@ impl DistributedMaxmin {
                 origin,
                 conn,
                 phase: 1,
+                attempt: 0,
                 up_returned: None,
                 down_returned: None,
                 gid,
@@ -347,9 +475,9 @@ impl DistributedMaxmin {
 
     /// Send the two ADVERTISE packets of the active session's phase.
     fn launch_phase(&mut self, ctx: &mut Ctx<'_, Ev>) {
-        let (origin, conn, gid) = {
+        let (origin, conn, gid, phase, attempt) = {
             let s = self.active.as_ref().expect("launch with active session");
-            (s.origin, s.conn, s.gid)
+            (s.origin, s.conn, s.gid, s.phase, s.attempt)
         };
         let cctl = self.conns.get(&conn).expect("validated at activation");
         let pos = cctl
@@ -370,6 +498,9 @@ impl DistributedMaxmin {
             leg: if pos == 0 { Leg::Back } else { Leg::Out },
             origin,
             gid,
+            phase,
+            attempt,
+            fresh: true,
             is_update: false,
         };
         let down = Packet {
@@ -380,6 +511,9 @@ impl DistributedMaxmin {
             leg: if pos + 1 == n { Leg::Back } else { Leg::Out },
             origin,
             gid,
+            phase,
+            attempt,
+            fresh: true,
             is_update: false,
         };
         ctx.schedule_after(self.hop_latency, Ev::Deliver(up));
@@ -488,7 +622,10 @@ impl DistributedMaxmin {
     /// A returned ADVERTISE reaches its initiator.
     fn arrive_back(&mut self, pkt: Packet, ctx: &mut Ctx<'_, Ev>) {
         let session = match &mut self.active {
-            Some(s) if s.gid == pkt.gid => s,
+            // Stragglers from an earlier phase or an aborted attempt
+            // (possible only under fault injection) are ignored; the
+            // retransmitted round supersedes them.
+            Some(s) if s.gid == pkt.gid && s.phase == pkt.phase && s.attempt == pkt.attempt => s,
             _ => return,
         };
         match pkt.dir {
@@ -498,6 +635,7 @@ impl DistributedMaxmin {
         if let (Some(u), Some(d)) = (session.up_returned, session.down_returned) {
             if session.phase < 4 {
                 session.phase += 1;
+                session.attempt = 0;
                 session.up_returned = None;
                 session.down_returned = None;
                 self.launch_phase(ctx);
@@ -512,13 +650,7 @@ impl DistributedMaxmin {
 
     /// Fix the converged rate: update every link's recorded rate, emit
     /// UPDATE packets, wake affected connections, start the next process.
-    fn complete_session(
-        &mut self,
-        origin: LinkId,
-        conn: ConnId,
-        rate: f64,
-        ctx: &mut Ctx<'_, Ev>,
-    ) {
+    fn complete_session(&mut self, origin: LinkId, conn: ConnId, rate: f64, ctx: &mut Ctx<'_, Ev>) {
         let cctl = match self.conns.get(&conn) {
             Some(c) => c.clone(),
             None => {
@@ -610,6 +742,9 @@ impl DistributedMaxmin {
                     leg: Leg::Out,
                     origin,
                     gid,
+                    phase: 0,
+                    attempt: 0,
+                    fresh: true,
                     is_update: true,
                 }),
             );
@@ -625,6 +760,9 @@ impl DistributedMaxmin {
                     leg: Leg::Out,
                     origin,
                     gid,
+                    phase: 0,
+                    attempt: 0,
+                    fresh: true,
                     is_update: true,
                 }),
             );
@@ -662,11 +800,44 @@ impl Model for DistributedMaxmin {
 
     fn handle(&mut self, ev: Ev, ctx: &mut Ctx<'_, Ev>) {
         match ev {
-            Ev::Deliver(pkt) => {
+            Ev::Deliver(mut pkt) => {
+                match self.roll_fault(&pkt) {
+                    Fate::Drop => {
+                        self.stats.packets_lost += 1;
+                        self.arm_recovery(&pkt, ctx);
+                        return;
+                    }
+                    Fate::Delay(extra) => {
+                        self.stats.packets_delayed += 1;
+                        pkt.fresh = false;
+                        ctx.schedule_after(extra, Ev::Deliver(pkt));
+                        return;
+                    }
+                    Fate::Deliver => {}
+                }
+                pkt.fresh = false;
                 if pkt.is_update {
                     self.process_update(pkt, ctx);
                 } else {
                     self.process_advertise(pkt, ctx);
+                }
+            }
+            Ev::Timeout {
+                gid,
+                phase,
+                attempt,
+            } => {
+                let stalled = self
+                    .active
+                    .as_ref()
+                    .is_some_and(|s| s.gid == gid && s.phase == phase && s.attempt == attempt);
+                if stalled {
+                    let s = self.active.as_mut().expect("checked above");
+                    s.attempt += 1;
+                    s.up_returned = None;
+                    s.down_returned = None;
+                    self.stats.retransmits += 1;
+                    self.launch_phase(ctx);
                 }
             }
             Ev::ChangeExcess { link, excess } => {
@@ -732,7 +903,11 @@ mod tests {
             );
         }
         let stop = engine.run();
-        assert_eq!(stop, arm_sim::StopCondition::QueueEmpty, "protocol quiesces");
+        assert_eq!(
+            stop,
+            arm_sim::StopCondition::QueueEmpty,
+            "protocol quiesces"
+        );
         assert!(engine.model().is_quiescent());
         let expect = problem.solve();
         let got = engine.model().rates().clone();
@@ -970,6 +1145,146 @@ mod tests {
         assert_eq!(stats.sessions, 1);
         assert_eq!(stats.advertise_hops, 8);
         assert!((engine.model().rates()[&cid(0)] - 10.0).abs() < 1e-9);
+    }
+
+    /// Like [`run_and_compare`] but with control-plane faults installed,
+    /// verifying Theorem 1 survives loss and reordering.
+    fn run_lossy_and_compare(
+        variant: Variant,
+        seed: u64,
+        loss: f64,
+        delay_prob: f64,
+        links: &[(u32, f64)],
+        conns: &[(u32, f64, &[u32])],
+    ) -> ProtocolStats {
+        let mut proto = DistributedMaxmin::new(variant, SimDuration::from_millis(1));
+        proto.set_control_faults(seed, loss, delay_prob);
+        let mut problem = MaxminProblem::default();
+        for (l, cap) in links {
+            proto.add_link(lid(*l), *cap);
+            problem.link_excess.insert(lid(*l), *cap);
+        }
+        for (c, demand, ls) in conns {
+            let route: Vec<LinkId> = ls.iter().map(|l| lid(*l)).collect();
+            proto.add_conn(cid(*c), route.clone(), *demand);
+            problem.conns.insert(
+                cid(*c),
+                ConnDemand {
+                    demand: *demand,
+                    links: route,
+                },
+            );
+        }
+        let mut engine = Engine::new(proto).with_event_budget(5_000_000);
+        for (l, cap) in links {
+            engine.schedule_at(
+                SimTime::ZERO,
+                Ev::ChangeExcess {
+                    link: lid(*l),
+                    excess: *cap,
+                },
+            );
+        }
+        let stop = engine.run();
+        assert_eq!(
+            stop,
+            arm_sim::StopCondition::QueueEmpty,
+            "lossy protocol quiesces (seed {seed}, loss {loss})"
+        );
+        assert!(engine.model().is_quiescent());
+        let expect = problem.solve();
+        let got = engine.model().rates().clone();
+        for (c, x) in &expect {
+            let g = got.get(c).copied().unwrap_or(0.0);
+            assert!(
+                (g - x).abs() < 1e-6,
+                "seed {seed} loss {loss}: {c:?} got {g}, want {x}\nall: {got:?}"
+            );
+        }
+        engine.model().stats()
+    }
+
+    #[test]
+    fn lossy_parking_lot_converges_to_oracle() {
+        let links: &[(u32, f64)] = &[(0, 20.0), (1, 7.0), (2, 15.0), (3, 9.0), (4, 30.0)];
+        let conns: &[(u32, f64, &[u32])] = &[
+            (0, 100.0, &[0, 1, 2, 3, 4]),
+            (1, 100.0, &[0]),
+            (2, 2.0, &[1]),
+            (3, 100.0, &[2]),
+            (4, 100.0, &[3]),
+            (5, 6.0, &[4]),
+        ];
+        for seed in 0..8 {
+            for v in [Variant::Flooding, Variant::Refined] {
+                run_lossy_and_compare(v, seed, 0.3, 0.3, links, conns);
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_loss_still_converges() {
+        let links: &[(u32, f64)] = &[(0, 10.0), (1, 4.0)];
+        let conns: &[(u32, f64, &[u32])] =
+            &[(0, 100.0, &[0, 1]), (1, 100.0, &[0]), (2, 100.0, &[1])];
+        for seed in 0..4 {
+            let stats = run_lossy_and_compare(Variant::Refined, seed, 0.7, 0.5, links, conns);
+            assert!(
+                stats.packets_lost > 0,
+                "70% loss must actually drop packets"
+            );
+            assert!(stats.retransmits > 0, "drops must force retransmissions");
+        }
+    }
+
+    #[test]
+    fn zero_probability_faults_change_nothing() {
+        // Installing the hook with p=0 must not perturb the event
+        // sequence: the rng is only consulted for non-zero probabilities.
+        let links: &[(u32, f64)] = &[(0, 12.0), (1, 6.0), (2, 9.0)];
+        let conns: &[(u32, f64, &[u32])] = &[
+            (0, 100.0, &[0, 1, 2]),
+            (1, 100.0, &[0]),
+            (2, 100.0, &[1]),
+            (3, 100.0, &[2]),
+        ];
+        let (rates, stats) = run_and_compare(Variant::Refined, links, conns);
+        let lossless = run_lossy_and_compare(Variant::Refined, 99, 0.0, 0.0, links, conns);
+        assert_eq!(lossless.advertise_hops, stats.advertise_hops);
+        assert_eq!(lossless.sessions, stats.sessions);
+        assert_eq!(lossless.packets_lost, 0);
+        assert_eq!(lossless.retransmits, 0);
+        let _ = rates;
+    }
+
+    #[test]
+    fn clearing_faults_mid_run_drains_cleanly() {
+        let mut proto = DistributedMaxmin::new(Variant::Refined, SimDuration::from_millis(1));
+        proto.set_control_faults(5, 0.5, 0.5);
+        proto.add_link(lid(0), 10.0);
+        proto.add_conn(cid(0), vec![lid(0)], 100.0);
+        proto.add_conn(cid(1), vec![lid(0)], 100.0);
+        let mut engine = Engine::new(proto).with_event_budget(1_000_000);
+        engine.schedule_at(
+            SimTime::ZERO,
+            Ev::ChangeExcess {
+                link: lid(0),
+                excess: 10.0,
+            },
+        );
+        engine.run();
+        engine.model_mut().clear_control_faults();
+        engine.schedule_at(
+            engine.now(),
+            Ev::ChangeExcess {
+                link: lid(0),
+                excess: 24.0,
+            },
+        );
+        let stop = engine.run();
+        assert_eq!(stop, arm_sim::StopCondition::QueueEmpty);
+        assert!((engine.model().rates()[&cid(0)] - 12.0).abs() < 1e-6);
+        assert!((engine.model().rates()[&cid(1)] - 12.0).abs() < 1e-6);
     }
 
     #[test]

@@ -36,14 +36,10 @@ pub fn finish_times(packets: &[Packet], weights: &[f64], capacity: f64) -> Vec<D
     // State: for each flow, bits of backlog and the queue of (packet
     // index, bits remaining to finish that packet *within the backlog*).
     let mut backlog = vec![0.0f64; flows];
-    let mut queues: Vec<std::collections::VecDeque<(usize, f64)>> =
-        vec![Default::default(); flows];
+    let mut queues: Vec<std::collections::VecDeque<(usize, f64)>> = vec![Default::default(); flows];
     let mut out: Vec<Option<f64>> = vec![None; packets.len()];
 
-    let mut now = order
-        .first()
-        .map(|i| packets[*i].arrival)
-        .unwrap_or(0.0);
+    let mut now = order.first().map(|i| packets[*i].arrival).unwrap_or(0.0);
     let mut next_arrival = 0usize; // index into `order`
 
     loop {
@@ -168,18 +164,18 @@ mod tests {
         // 0.1333 + 0.6667/10 = 0.2.
         let pkts = vec![pkt(0, 1.0, 0.0), pkt(1, 1.0, 0.0)];
         let d = finish_times(&pkts, &[3.0, 1.0], 10.0);
-        assert!((d[0].departure - 1.0 / 7.5).abs() < 1e-9, "{}", d[0].departure);
+        assert!(
+            (d[0].departure - 1.0 / 7.5).abs() < 1e-9,
+            "{}",
+            d[0].departure
+        );
         assert!((d[1].departure - 0.2).abs() < 1e-9, "{}", d[1].departure);
     }
 
     #[test]
     fn work_conservation() {
         // Busy period: total service equals capacity × busy time.
-        let pkts = vec![
-            pkt(0, 2.0, 0.0),
-            pkt(1, 3.0, 0.1),
-            pkt(0, 1.0, 0.2),
-        ];
+        let pkts = vec![pkt(0, 2.0, 0.0), pkt(1, 3.0, 0.1), pkt(0, 1.0, 0.2)];
         let d = finish_times(&pkts, &[1.0, 2.0], 10.0);
         let last = d
             .iter()

@@ -110,7 +110,11 @@ pub fn simulate(
     while remaining > 0 {
         while next < by_eligibility.len() && eligible[by_eligibility[next]] <= now + 1e-15 {
             let i = by_eligibility[next];
-            heap.push(Reverse(Key(flows[packets[i].flow].priority, eligible[i], i)));
+            heap.push(Reverse(Key(
+                flows[packets[i].flow].priority,
+                eligible[i],
+                i,
+            )));
             next += 1;
         }
         match heap.pop() {

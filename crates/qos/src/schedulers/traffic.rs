@@ -135,7 +135,10 @@ mod tests {
         let steady: Vec<_> = pkts.iter().filter(|p| p.arrival > 0.0).collect();
         // Rate 100 kbps with 1 kb packets → one every 10 ms.
         assert!(steady.len() >= 99);
-        let gaps: Vec<f64> = steady.windows(2).map(|w| w[1].arrival - w[0].arrival).collect();
+        let gaps: Vec<f64> = steady
+            .windows(2)
+            .map(|w| w[1].arrival - w[0].arrival)
+            .collect();
         assert!(gaps.iter().all(|g| (g - 0.01).abs() < 1e-9));
     }
 

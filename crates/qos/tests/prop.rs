@@ -130,6 +130,52 @@ proptest! {
         }
     }
 
+    /// Robustness clause of Theorem 1: with seeded control-packet loss
+    /// and reordering delay injected into every delivery, the protocol
+    /// still quiesces and converges to the centralized optimum — phase
+    /// retransmission with capped exponential backoff recovers any
+    /// finite loss pattern (loss rate < 1).
+    #[test]
+    fn distributed_survives_arbitrary_packet_loss(
+        (caps, conns) in problem_strategy(),
+        seed in any::<u64>(),
+        loss in 0.0f64..0.85,
+        delay_prob in 0.0f64..0.85,
+    ) {
+        let p = build_problem(&caps, &conns);
+        let expect = p.solve();
+        for variant in [Variant::Flooding, Variant::Refined] {
+            let mut proto = DistributedMaxmin::new(variant, SimDuration::from_millis(1));
+            proto.set_control_faults(seed, loss, delay_prob);
+            for (l, cap) in &p.link_excess {
+                proto.add_link(*l, *cap);
+            }
+            for (c, d) in &p.conns {
+                proto.add_conn(*c, d.links.clone(), d.demand);
+            }
+            let mut engine = Engine::new(proto).with_event_budget(5_000_000);
+            for (l, cap) in &p.link_excess {
+                engine.schedule_at(SimTime::ZERO, Ev::ChangeExcess { link: *l, excess: *cap });
+            }
+            let stop = engine.run();
+            prop_assert_eq!(
+                stop,
+                arm_sim::StopCondition::QueueEmpty,
+                "lossy run must quiesce (seed {}, loss {}, delay {})",
+                seed, loss, delay_prob
+            );
+            prop_assert!(engine.model().is_quiescent());
+            for (c, x) in &expect {
+                let g = engine.model().rates().get(c).copied().unwrap_or(0.0);
+                prop_assert!(
+                    (g - x).abs() < 1e-6,
+                    "{:?} under loss {}: {:?} got {} want {} (rates {:?})",
+                    variant, loss, c, g, x, engine.model().rates()
+                );
+            }
+        }
+    }
+
     /// The advertised rate is always within [0, excess] and is monotone
     /// in the excess capacity.
     #[test]

@@ -75,15 +75,9 @@ pub fn aggregate(
 }
 
 /// Static: reserve `fraction` of each listed cell's capacity, always.
-pub fn static_fraction(
-    cells: &[(CellId, f64)],
-    fraction: f64,
-) -> BTreeMap<CellId, f64> {
+pub fn static_fraction(cells: &[(CellId, f64)], fraction: f64) -> BTreeMap<CellId, f64> {
     assert!((0.0..=1.0).contains(&fraction));
-    cells
-        .iter()
-        .map(|(c, cap)| (*c, cap * fraction))
-        .collect()
+    cells.iter().map(|(c, cap)| (*c, cap * fraction)).collect()
 }
 
 #[cfg(test)]

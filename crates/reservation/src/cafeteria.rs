@@ -97,7 +97,11 @@ mod tests {
         let ys = [n0, n1, n2];
         let xbar = xs.iter().sum::<f64>() / 3.0;
         let ybar = ys.iter().sum::<f64>() / 3.0;
-        let sxy: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - xbar) * (y - ybar)).sum();
+        let sxy: f64 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| (x - xbar) * (y - ybar))
+            .sum();
         let sxx: f64 = xs.iter().map(|x| (x - xbar) * (x - xbar)).sum();
         let a = sxy / sxx;
         let m = ybar - a * xbar;

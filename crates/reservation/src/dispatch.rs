@@ -68,9 +68,7 @@ pub fn decide(
         }
         CellClass::Corridor => match prediction.level {
             PredictionLevel::OccupantOffice | PredictionLevel::CellAggregate => {
-                ReservationDecision::PerConnection(
-                    prediction.cell.expect("prediction has a cell"),
-                )
+                ReservationDecision::PerConnection(prediction.cell.expect("prediction has a cell"))
             }
             _ => ReservationDecision::DefaultAlgorithm,
         },

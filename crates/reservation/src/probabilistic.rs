@@ -46,8 +46,8 @@ pub fn binom_pmf(n: u32, p: f64) -> Vec<f64> {
         return pmf;
     }
     let mut v = q.powi(n as i32);
-    for k in 0..=n as usize {
-        pmf[k] = v;
+    for (k, slot) in pmf.iter_mut().enumerate() {
+        *slot = v;
         if k < n as usize {
             v = v * (n as usize - k) as f64 / (k + 1) as f64 * (p / q);
         }
@@ -398,7 +398,11 @@ mod tests {
             }
         }
         let resv = solver.reserved_bandwidth(&types, &n);
-        let used: f64 = types.iter().zip(&n).map(|(t, k)| t.b_min * f64::from(*k)).sum();
+        let used: f64 = types
+            .iter()
+            .zip(&n)
+            .map(|(t, k)| t.b_min * f64::from(*k))
+            .sum();
         assert!((resv - (40.0 - used).max(0.0)).abs() < 1e-12);
     }
 

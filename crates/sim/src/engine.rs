@@ -138,7 +138,10 @@ impl<M: Model> Engine<M> {
             if dispatched >= self.event_budget {
                 return StopCondition::EventBudgetExhausted;
             }
-            let (_, _, ev) = self.queue.pop().expect("peeked event vanished");
+            let (_, _, ev) = self
+                .queue
+                .pop()
+                .expect("invariant: a successful peek means pop returns an event");
             dispatched += 1;
             let mut stop = false;
             let mut ctx = Ctx {

@@ -30,6 +30,7 @@
 
 pub mod engine;
 pub mod event;
+pub mod faults;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -38,6 +39,7 @@ pub mod trace;
 
 pub use engine::{Engine, Model, StopCondition};
 pub use event::EventId;
+pub use faults::{FaultEvent, FaultKind, FaultSchedule, FaultScheduleParams};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

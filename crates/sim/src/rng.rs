@@ -107,7 +107,11 @@ impl SimRng {
     /// Uses inversion: `-ln(1 - U) / rate`, with `1 - U ∈ (0, 1]` so the
     /// logarithm never sees zero.
     pub fn exp(&mut self, rate: f64) -> f64 {
-        assert!(rate > 0.0, "exponential rate must be positive");
+        assert!(
+            rate > 0.0,
+            "precondition: exponential rate must be positive (callers validate \
+             scenario-supplied means before sampling)"
+        );
         let u = 1.0 - self.unit(); // in (0, 1]
         -u.ln() / rate
     }
@@ -115,7 +119,11 @@ impl SimRng {
     /// Exponential inter-arrival / holding time as a [`SimDuration`],
     /// given a mean duration.
     pub fn exp_duration(&mut self, mean: SimDuration) -> SimDuration {
-        assert!(!mean.is_zero(), "mean duration must be positive");
+        assert!(
+            !mean.is_zero(),
+            "precondition: mean duration must be positive (callers validate \
+             scenario-supplied dwell/holding times before sampling)"
+        );
         let secs = self.exp(1.0 / mean.as_secs_f64());
         SimDuration::from_secs_f64(secs)
     }
@@ -144,7 +152,10 @@ impl SimRng {
     /// small means and a normal approximation above 30 (counts per slot in
     /// the cafeteria model stay far below that in practice).
     pub fn poisson(&mut self, mean: f64) -> u32 {
-        assert!(mean >= 0.0);
+        assert!(
+            mean >= 0.0,
+            "precondition: Poisson mean must be non-negative"
+        );
         if mean == 0.0 {
             return 0;
         }
@@ -264,8 +275,10 @@ mod tests {
         let mut rng = SimRng::new(2);
         let mean = SimDuration::from_secs(10);
         let n = 50_000;
-        let avg: f64 =
-            (0..n).map(|_| rng.exp_duration(mean).as_secs_f64()).sum::<f64>() / n as f64;
+        let avg: f64 = (0..n)
+            .map(|_| rng.exp_duration(mean).as_secs_f64())
+            .sum::<f64>()
+            / n as f64;
         assert!((avg - 10.0).abs() < 0.2, "avg={avg}");
     }
 
@@ -273,8 +286,10 @@ mod tests {
     fn binomial_moments() {
         let mut rng = SimRng::new(3);
         let (n_trials, n, p) = (100_000, 20u32, 0.3);
-        let mean: f64 =
-            (0..n_trials).map(|_| f64::from(rng.binomial(n, p))).sum::<f64>() / n_trials as f64;
+        let mean: f64 = (0..n_trials)
+            .map(|_| f64::from(rng.binomial(n, p)))
+            .sum::<f64>()
+            / n_trials as f64;
         assert!((mean - 6.0).abs() < 0.05, "mean={mean}");
         assert_eq!(rng.binomial(10, 0.0), 0);
         assert_eq!(rng.binomial(10, 1.0), 10);
@@ -285,8 +300,7 @@ mod tests {
         let mut rng = SimRng::new(4);
         for target in [0.5, 4.0, 50.0] {
             let n = 100_000;
-            let mean: f64 =
-                (0..n).map(|_| f64::from(rng.poisson(target))).sum::<f64>() / n as f64;
+            let mean: f64 = (0..n).map(|_| f64::from(rng.poisson(target))).sum::<f64>() / n as f64;
             assert!(
                 (mean - target).abs() < target.max(1.0) * 0.03,
                 "target={target} mean={mean}"

@@ -176,7 +176,11 @@ impl Sub<SimDuration> for SimTime {
     type Output = SimTime;
     #[inline]
     fn sub(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0.checked_sub(rhs.0).expect("SimTime underflow"))
+        SimTime(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("invariant: SimTime subtraction must not cross t=0"),
+        )
     }
 }
 
@@ -207,14 +211,21 @@ impl Sub for SimDuration {
     type Output = SimDuration;
     #[inline]
     fn sub(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0.checked_sub(rhs.0).expect("SimDuration underflow"))
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("invariant: SimDuration subtraction must not go negative"),
+        )
     }
 }
 
 impl SubAssign for SimDuration {
     #[inline]
     fn sub_assign(&mut self, rhs: SimDuration) {
-        self.0 = self.0.checked_sub(rhs.0).expect("SimDuration underflow");
+        self.0 = self
+            .0
+            .checked_sub(rhs.0)
+            .expect("invariant: SimDuration subtraction must not go negative");
     }
 }
 
@@ -299,7 +310,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "SimTime underflow")]
+    #[should_panic(expected = "invariant: SimTime subtraction must not cross t=0")]
     fn sub_underflow_panics() {
         let _ = SimTime::ZERO - SimDuration::from_ticks(1);
     }

@@ -79,7 +79,9 @@ impl Tracer {
         &'a self,
         subsystem: &'a str,
     ) -> impl Iterator<Item = &'a TraceRecord> + 'a {
-        self.records.iter().filter(move |r| r.subsystem == subsystem)
+        self.records
+            .iter()
+            .filter(move |r| r.subsystem == subsystem)
     }
 
     /// Drop all records.

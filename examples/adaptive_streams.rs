@@ -77,13 +77,7 @@ fn main() {
     proto.add_conn(conns[1].1, vec![wl], 800.0 - 64.0);
     proto.add_conn(conns[2].1, vec![wl], 128.0 - 16.0);
     let mut engine = Engine::new(proto);
-    engine.schedule_at(
-        SimTime::ZERO,
-        Ev::ChangeExcess {
-            link: wl,
-            excess,
-        },
-    );
+    engine.schedule_at(SimTime::ZERO, Ev::ChangeExcess { link: wl, excess });
     engine.run();
     for (n, c) in &conns[1..] {
         let floor = mgr.net.get(*c).expect("live").qos.b_min;

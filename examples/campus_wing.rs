@@ -64,7 +64,8 @@ fn main() {
             match ev.from {
                 None => {
                     mgr.portable_appears(ev.portable, ev.to, ev.time);
-                    if let Ok(id) = mgr.request_connection(ev.portable, mix.sample(&mut rng), ev.time)
+                    if let Ok(id) =
+                        mgr.request_connection(ev.portable, mix.sample(&mut rng), ev.time)
                     {
                         open.insert(ev.portable, id);
                     }

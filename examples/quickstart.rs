@@ -70,7 +70,10 @@ fn main() {
     let dropped = mgr.portable_moved(user, f4.d, t);
     assert!(dropped.is_empty());
     let wl_a = mgr.net.topology().wireless_link(f4.a);
-    let claim = mgr.net.link(wl_a).claim(arm_net::link::ResvClaim::Conn(conn));
+    let claim = mgr
+        .net
+        .link(wl_a)
+        .claim(arm_net::link::ResvClaim::Conn(conn));
     println!("advance reservation waiting in office A: {claim} kbps");
     t += SimDuration::from_secs(30);
     let dropped = mgr.portable_moved(user, f4.a, t);

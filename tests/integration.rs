@@ -47,8 +47,7 @@ fn replay(
         match ev.from {
             None => {
                 mgr.portable_appears(ev.portable, ev.to, ev.time);
-                if let Ok(id) = mgr.request_connection(ev.portable, mix.sample(&mut rng), ev.time)
-                {
+                if let Ok(id) = mgr.request_connection(ev.portable, mix.sample(&mut rng), ev.time) {
                     open.insert(ev.portable, id);
                 }
             }

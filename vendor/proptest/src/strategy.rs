@@ -1,0 +1,399 @@
+//! Value-generation strategies for the vendored proptest harness.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::Rng;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating random values of one type.
+///
+/// Object-safe so `prop_oneof!` can box heterogeneous strategies; the
+/// combinators are `Self: Sized` for that reason.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with a function.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then use it to build and sample a second
+    /// strategy (dependent generation).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone, Debug)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed strategies (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// A union over `options` (must be non-empty).
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.usize_inclusive(0, self.options.len() - 1);
+        self.options[i].sample(rng)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ranges
+// ---------------------------------------------------------------------
+
+macro_rules! range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+// ---------------------------------------------------------------------
+// Tuples
+// ---------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $s:ident),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.sample(rng),)+)
+            }
+        }
+    )+};
+}
+tuple_strategy!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E),
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F),
+);
+
+// ---------------------------------------------------------------------
+// any::<T>()
+// ---------------------------------------------------------------------
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite values only: arbitrary bit patterns (NaN, Inf) poison
+        // almost every numeric property without testing anything real.
+        (rng.unit_f64() - 0.5) * 2e12
+    }
+}
+
+/// Strategy for [`Arbitrary`] types (`any::<T>()`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+// ---------------------------------------------------------------------
+// String patterns
+// ---------------------------------------------------------------------
+
+/// String-literal strategies support a small regex subset: literal
+/// characters, `[a-z0-9_]`-style classes, and the quantifiers `{n}`,
+/// `{m,n}`, `?`, `+` (1–8), `*` (0–8).
+impl Strategy for str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = rng.usize_inclusive(atom.min, atom.max);
+            for _ in 0..n {
+                let i = rng.usize_inclusive(0, atom.choices.len() - 1);
+                out.push(atom.choices[i]);
+            }
+        }
+        out
+    }
+}
+
+struct Atom {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pat: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|c| *c == ']')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed `[` in pattern {pat:?}"));
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j], chars[j + 2]);
+                        assert!(lo <= hi, "bad class range in pattern {pat:?}");
+                        for c in lo..=hi {
+                            set.push(c);
+                        }
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                assert!(!set.is_empty(), "empty class in pattern {pat:?}");
+                i = close + 1;
+                set
+            }
+            '\\' => {
+                let c = chars
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("trailing `\\` in pattern {pat:?}"));
+                i += 2;
+                vec![*c]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|c| *c == '}')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed `{{` in pattern {pat:?}"));
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("pattern repeat lower bound"),
+                        hi.trim().parse().expect("pattern repeat upper bound"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("pattern repeat count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "bad repetition in pattern {pat:?}");
+        atoms.push(Atom { choices, min, max });
+    }
+    atoms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic(1);
+        for _ in 0..500 {
+            let v = (3u32..9).sample(&mut rng);
+            assert!((3..9).contains(&v));
+            let f = (0.5f64..2.0).sample(&mut rng);
+            assert!((0.5..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn map_flat_map_compose() {
+        let mut rng = TestRng::deterministic(2);
+        let s = (1usize..4)
+            .prop_flat_map(|n| crate::collection::vec(0u8..10, n).prop_map(move |v| (n, v)));
+        for _ in 0..100 {
+            let (n, v) = s.sample(&mut rng);
+            assert_eq!(v.len(), n);
+        }
+    }
+
+    #[test]
+    fn union_draws_every_arm() {
+        let s: Union<u8> = Union::new(vec![
+            Box::new(Just(1u8)),
+            Box::new(Just(2u8)),
+            Box::new(Just(3u8)),
+        ]);
+        let mut rng = TestRng::deterministic(3);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[s.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn string_pattern_sampling() {
+        let mut rng = TestRng::deterministic(4);
+        for _ in 0..200 {
+            let s = "[a-z]{1,8}".sample(&mut rng);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+        let fixed = "ab[0-9]?".sample(&mut rng);
+        assert!(fixed.starts_with("ab") && fixed.len() <= 3);
+    }
+}

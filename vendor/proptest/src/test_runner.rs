@@ -1,0 +1,44 @@
+//! Deterministic RNG for the vendored proptest harness.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// The harness RNG: a seeded [`SmallRng`] with a few convenience draws.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    /// A generator with a fixed seed (derived from the test's name).
+    pub fn deterministic(seed: u64) -> Self {
+        TestRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform `usize` in `[lo, hi]`.
+    pub fn usize_inclusive(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi);
+        if lo == hi {
+            lo
+        } else {
+            lo + self.inner.gen_range(0..=(hi - lo))
+        }
+    }
+
+    /// Mutable access to the underlying generator for range sampling.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.inner
+    }
+}

@@ -1,0 +1,85 @@
+//! End-to-end checks of the vendored derive macros against the shapes
+//! the workspace actually uses.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize, Value};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(transparent)]
+struct Id(pub u32);
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct Named {
+    a: u32,
+    b: Option<f64>,
+    c: Vec<String>,
+    map: BTreeMap<(Option<Id>, Id), Id>,
+}
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct Unit;
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct Pair(u8, String);
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+enum Mixed {
+    Plain,
+    Wrap(Id),
+    Two(u8, u8),
+    Rec { x: f64, y: String },
+}
+
+#[test]
+fn newtype_is_transparent() {
+    assert_eq!(Id(7).to_value(), Value::UInt(7));
+    assert_eq!(Id::from_value(&Value::UInt(7)).unwrap(), Id(7));
+}
+
+#[test]
+fn named_struct_round_trips() {
+    let mut map = BTreeMap::new();
+    map.insert((None, Id(2)), Id(3));
+    map.insert((Some(Id(1)), Id(2)), Id(4));
+    let n = Named {
+        a: 5,
+        b: Some(1.25),
+        c: vec!["x".into(), "y".into()],
+        map,
+    };
+    assert_eq!(Named::from_value(&n.to_value()).unwrap(), n);
+}
+
+#[test]
+fn named_struct_missing_field_errors() {
+    let v = Value::Object(vec![("a".into(), Value::UInt(1))]);
+    let err = Named::from_value(&v).unwrap_err();
+    assert!(err.to_string().contains("missing field"), "{err}");
+}
+
+#[test]
+fn unit_and_tuple_structs_round_trip() {
+    assert_eq!(Unit::from_value(&Unit.to_value()).unwrap(), Unit);
+    let p = Pair(3, "z".into());
+    assert_eq!(Pair::from_value(&p.to_value()).unwrap(), p);
+}
+
+#[test]
+fn enum_variants_round_trip() {
+    for m in [
+        Mixed::Plain,
+        Mixed::Wrap(Id(9)),
+        Mixed::Two(1, 2),
+        Mixed::Rec {
+            x: 0.5,
+            y: "q".into(),
+        },
+    ] {
+        let v = m.to_value();
+        assert_eq!(Mixed::from_value(&v).unwrap(), m);
+    }
+    // Externally tagged: unit variants are plain strings.
+    assert_eq!(Mixed::Plain.to_value(), Value::String("Plain".into()));
+    assert!(Mixed::from_value(&Value::String("Nope".into())).is_err());
+}

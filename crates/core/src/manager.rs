@@ -64,6 +64,12 @@ pub struct ManagerConfig {
     /// connections have adaptable ranges; fixed-rate experiments skip it
     /// for speed).
     pub resolve_excess: bool,
+    /// Resolve conflicts through the resident incremental maxmin engine
+    /// (dirty-region re-fill) instead of rebuilding the whole problem
+    /// each round. Bit-identical results either way — see
+    /// `arm_qos::maxmin::incremental`; off switches back to the
+    /// from-scratch path for differential testing.
+    pub incremental: bool,
     /// Pre-establish §4's wired multicast branches toward a mobile's
     /// neighbouring cells (failures non-fatal).
     pub multicast: bool,
@@ -88,6 +94,7 @@ impl Default for ManagerConfig {
             slot: SimDuration::from_mins(1),
             per_user_kbps: 28.0,
             resolve_excess: false,
+            incremental: true,
             multicast: true,
             delta: 0.0,
             drop_on_link_failure: false,
@@ -127,6 +134,9 @@ pub struct ResourceManager {
     last_excess: BTreeMap<LinkId, f64>,
     /// Adaptation rounds actually run (eqn-2 triggered).
     pub adaptation_rounds: u64,
+    /// Resident incremental maxmin engine (public so drivers and tests
+    /// can inspect its work-saved counters).
+    pub maxmin: arm_qos::maxmin::incremental::IncrementalMaxmin,
     /// Connections force-dropped by channel fades (negative excess →
     /// re-negotiation, §5.3).
     pub channel_renegotiations: u64,
@@ -191,6 +201,7 @@ impl ResourceManager {
             multicast: MulticastState::new(),
             last_excess: BTreeMap::new(),
             adaptation_rounds: 0,
+            maxmin: arm_qos::maxmin::incremental::IncrementalMaxmin::new(),
             channel_renegotiations: 0,
             server_node,
             down_links: BTreeSet::new(),
@@ -289,6 +300,7 @@ impl ResourceManager {
         };
         match admit(&mut self.net, req) {
             Ok(_) => {
+                self.mark_conn_dirty(id);
                 self.sync_multicast_for(p, now);
                 self.after_event(now);
                 Ok(id)
@@ -341,6 +353,7 @@ impl ResourceManager {
         };
         match admit(&mut self.net, req) {
             Ok(_) => {
+                self.mark_conn_dirty(id);
                 self.sync_multicast_for(p, now);
                 self.after_event(now);
                 Ok(())
@@ -364,6 +377,7 @@ impl ResourceManager {
                     },
                 )
                 .expect("restoring the previous reservation always fits");
+                self.mark_conn_dirty(id);
                 self.after_event(now);
                 Err(rej)
             }
@@ -373,6 +387,7 @@ impl ResourceManager {
     /// Normal connection teardown.
     pub fn terminate(&mut self, id: ConnId, now: SimTime) {
         if self.net.get(id).map(|c| c.state.is_live()).unwrap_or(false) {
+            self.mark_conn_dirty(id);
             self.multicast.teardown(&mut self.net, id);
             self.net.finish(id, ConnectionState::Terminated);
             self.metrics.completed.incr();
@@ -421,7 +436,9 @@ impl ResourceManager {
         let mut dropped = Vec::new();
         for id in conns {
             self.metrics.handoff_attempts.incr();
+            self.mark_conn_dirty(id); // the route about to be released
             if self.handoff_connection(id, to, now, claims_usable) {
+                self.mark_conn_dirty(id); // the newly admitted route
                 self.metrics.handoff_successes.incr();
             } else {
                 self.metrics.dropped.incr();
@@ -543,6 +560,7 @@ impl ResourceManager {
         self.net
             .link_mut(wl)
             .set_claim(ResvClaim::Channel, target_loss);
+        self.mark_link_dirty(wl);
         self.after_event(now);
         Ok(victims)
     }
@@ -579,12 +597,14 @@ impl ResourceManager {
             return Vec::new();
         }
         self.link_failures += 1;
+        self.mark_link_dirty(link);
         let ids = self.net.conn_ids_on_link(link);
         let mut dropped = Vec::new();
         for id in ids {
             if !self.net.get(id).map(|c| c.state.is_live()).unwrap_or(false) {
                 continue;
             }
+            self.mark_conn_dirty(id); // squeezed, re-routed, or dropped
             if self.cfg.drop_on_link_failure {
                 self.multicast.teardown(&mut self.net, id);
                 self.net.finish(id, ConnectionState::Dropped);
@@ -611,9 +631,12 @@ impl ResourceManager {
             return;
         }
         self.net.link_mut(link).release_claim(ResvClaim::Outage);
+        self.mark_link_dirty(link);
         let ids: Vec<ConnId> = self.net.live_connections().map(|c| c.id).collect();
         for id in ids {
-            self.try_reroute(id);
+            if self.try_reroute(id) {
+                self.mark_conn_dirty(id);
+            }
         }
         self.after_event(now);
     }
@@ -824,6 +847,31 @@ impl ResourceManager {
     // Claim refresh
     // ------------------------------------------------------------------
 
+    /// Dirty a connection's current route in the resident maxmin engine.
+    ///
+    /// Called at every admit/release/handoff/failure site. Correctness
+    /// does not hinge on these marks — `resolve_network_incremental`
+    /// diff-syncs the engine against the ledgers before each round — but
+    /// eager marks keep the dirty set honest while the eqn-2 gate holds
+    /// adaptation closed across several events.
+    fn mark_conn_dirty(&mut self, id: ConnId) {
+        if !self.cfg.incremental {
+            return;
+        }
+        if let Some(c) = self.net.get(id) {
+            for l in c.route.links.clone() {
+                self.maxmin.touch_link(l);
+            }
+        }
+    }
+
+    /// Dirty one link in the resident maxmin engine.
+    fn mark_link_dirty(&mut self, l: LinkId) {
+        if self.cfg.incremental {
+            self.maxmin.touch_link(l);
+        }
+    }
+
     fn after_event(&mut self, now: SimTime) {
         self.refresh_claims(now);
         if self.cfg.resolve_excess && self.adaptation_triggered() {
@@ -835,7 +883,15 @@ impl ResourceManager {
                 .map(|(p, _)| *p)
                 .collect();
             let is_static = move |p: PortableId| statics.contains(&p);
-            arm_qos::conflict::resolve_network_with_policy(&mut self.net, &is_static);
+            if self.cfg.incremental {
+                arm_qos::conflict::resolve_network_incremental(
+                    &mut self.net,
+                    &is_static,
+                    &mut self.maxmin,
+                );
+            } else {
+                arm_qos::conflict::resolve_network_with_policy(&mut self.net, &is_static);
+            }
             // Record the post-round excess as eqn 2's t⁻ state.
             let cells: Vec<CellId> = self.env.cells().map(|(id, _)| id).collect();
             for c in cells {

@@ -267,6 +267,19 @@ fn validate(sc: &Scenario) -> Result<(), ControlError> {
                 value: kbps,
             });
         }
+        // Defense in depth: the exact request this workload will issue
+        // must pass flowspec validation too (NaN/negative/inverted
+        // bounds would otherwise surface as panics deep in the rate
+        // allocator).
+        if arm_net::flowspec::QosRequest::fixed(kbps)
+            .validate()
+            .is_err()
+        {
+            return Err(ControlError::BadParameter {
+                what: "workload kbps",
+                value: kbps,
+            });
+        }
     }
     Ok(())
 }
@@ -371,7 +384,22 @@ mod tests {
             workload: WorkloadSpec::Fixed { kbps: 0.0 },
             ..Scenario::sample()
         };
-        for sc in [zero_dwell, nan_capacity, certain_loss, free_workload] {
+        let nan_workload = Scenario {
+            workload: WorkloadSpec::Fixed { kbps: f64::NAN },
+            ..Scenario::sample()
+        };
+        let negative_workload = Scenario {
+            workload: WorkloadSpec::Fixed { kbps: -16.0 },
+            ..Scenario::sample()
+        };
+        for sc in [
+            zero_dwell,
+            nan_capacity,
+            certain_loss,
+            free_workload,
+            nan_workload,
+            negative_workload,
+        ] {
             let err = run(&sc).expect_err("out-of-range parameter must be recoverable");
             assert!(matches!(err, ControlError::BadParameter { .. }), "{err}");
         }

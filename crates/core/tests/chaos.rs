@@ -13,8 +13,11 @@
 
 use arm_core::chaos::run_with_faults;
 use arm_core::scenario::{self, EnvSpec, MobilitySpec, Scenario, WorkloadSpec};
-use arm_core::Strategy;
-use arm_sim::{FaultSchedule, FaultScheduleParams, SimDuration, SimRng};
+use arm_core::{ManagerConfig, ResourceManager, Strategy};
+use arm_mobility::environment::Figure4;
+use arm_net::flowspec::QosRequest;
+use arm_net::ids::{CellId, ConnId, PortableId};
+use arm_sim::{FaultSchedule, FaultScheduleParams, SimDuration, SimRng, SimTime};
 
 fn office_scenario(seed: u64) -> Scenario {
     Scenario {
@@ -90,6 +93,136 @@ fn soak_schedules_15_to_19() {
 /// The acceptance bar for the fault layer's zero-cost claim: a chaos run
 /// with the empty schedule produces a report bit-identical to the plain
 /// §7 runner.
+/// One manager-level churn event. Both resolver configurations replay
+/// the identical sequence, so any divergence is the solver's fault.
+#[derive(Clone, Copy, Debug)]
+enum Churn {
+    Appear(u32, CellId),
+    Connect(u32, f64, f64),
+    Move(u32, CellId),
+    Terminate(u32),
+    Fade(CellId, f64),
+    FailWireless(CellId),
+    RestoreWireless(CellId),
+}
+
+/// Replay `events` against a fresh Figure-4 manager with the excess
+/// resolver on, snapshotting every live connection's exact rate bits
+/// after each event.
+fn replay(events: &[Churn], incremental: bool) -> (Vec<Vec<(ConnId, u64)>>, u64) {
+    let f4 = Figure4::build();
+    let net = f4.env.build_network(1600.0, 0.0, 100_000.0);
+    let cfg = ManagerConfig {
+        strategy: Strategy::None,
+        resolve_excess: true,
+        dyn_pool: None,
+        t_th: SimDuration::from_secs(0),
+        incremental,
+        ..Default::default()
+    };
+    let mut mgr = ResourceManager::new(f4.env.clone(), net, cfg);
+    let mut conns: std::collections::BTreeMap<u32, ConnId> = Default::default();
+    let mut snapshots = Vec::with_capacity(events.len());
+    for (k, ev) in events.iter().enumerate() {
+        let t = SimTime::from_secs(k as u64 + 1);
+        match *ev {
+            Churn::Appear(p, cell) => mgr.portable_appears(PortableId(p), cell, t),
+            Churn::Connect(p, b_min, b_max) => {
+                let qos = QosRequest::bandwidth(b_min, b_max)
+                    .with_delay(10.0)
+                    .with_jitter(10.0)
+                    .with_loss(1.0);
+                if let Ok(id) = mgr.request_connection(PortableId(p), qos, t) {
+                    conns.insert(p, id);
+                }
+            }
+            Churn::Move(p, cell) => {
+                // The manager treats a move to the current cell as a
+                // caller bug; the random schedule can produce one.
+                if mgr.portable_cell(PortableId(p)) != Some(cell) {
+                    mgr.portable_moved(PortableId(p), cell, t);
+                }
+            }
+            Churn::Terminate(p) => {
+                if let Some(id) = conns.remove(&p) {
+                    mgr.terminate(id, t);
+                }
+            }
+            Churn::Fade(cell, f) => {
+                mgr.channel_change(cell, f, t).expect("valid fraction");
+            }
+            Churn::FailWireless(cell) => {
+                let wl = mgr.net.topology().wireless_link(cell);
+                mgr.link_failed(wl, t);
+            }
+            Churn::RestoreWireless(cell) => {
+                let wl = mgr.net.topology().wireless_link(cell);
+                mgr.link_restored(wl, t);
+            }
+        }
+        let mut snap: Vec<(ConnId, u64)> = mgr
+            .net
+            .live_connections()
+            .map(|c| (c.id, c.b_current.to_bits()))
+            .collect();
+        snap.sort();
+        snapshots.push(snap);
+        assert!(mgr.net.check_invariants().is_ok(), "event {k}: {ev:?}");
+    }
+    (snapshots, mgr.maxmin.stats.incremental_solves)
+}
+
+/// Random but seed-replayable churn over the Figure 4 floor, heavy on
+/// link failures and restorations.
+fn churn_schedule(seed: u64, len: usize) -> Vec<Churn> {
+    let f4 = Figure4::build();
+    let cells = [f4.a, f4.b, f4.c, f4.d, f4.e, f4.f, f4.g];
+    let mut rng = SimRng::new(seed);
+    let mut events = Vec::with_capacity(len);
+    // Seed a population so every schedule exercises live connections.
+    for p in 0..6u32 {
+        let cell = cells[rng.index(cells.len())];
+        events.push(Churn::Appear(p, cell));
+        events.push(Churn::Connect(p, 100.0, 1600.0));
+    }
+    while events.len() < len {
+        let p = rng.index(6) as u32;
+        let cell = cells[rng.index(cells.len())];
+        events.push(match rng.index(8) {
+            0 => Churn::Connect(p, rng.uniform(50.0, 200.0), rng.uniform(400.0, 1600.0)),
+            1 => Churn::Move(p, cell),
+            2 => Churn::Terminate(p),
+            3 => Churn::Fade(cell, rng.uniform(0.3, 1.0)),
+            4 | 5 => Churn::FailWireless(cell),
+            _ => Churn::RestoreWireless(cell),
+        });
+    }
+    events
+}
+
+/// The tentpole's manager-level acceptance: with `resolve_excess` on,
+/// the incremental engine and the from-scratch solver must agree on
+/// every live connection's rate **bit for bit** after every event of a
+/// fault-heavy churn schedule — including `link_failed`/`link_restored`.
+#[test]
+fn incremental_resolver_is_bit_identical_to_full_recompute_under_chaos() {
+    for seed in 0..4u64 {
+        let events = churn_schedule(seed, 60);
+        let (full, solves_full) = replay(&events, false);
+        let (incr, solves_incr) = replay(&events, true);
+        assert_eq!(solves_full, 0, "full path must not touch the engine");
+        assert!(solves_incr > 0, "incremental path must use the engine");
+        assert_eq!(full.len(), incr.len());
+        for (k, (a, b)) in full.iter().zip(&incr).enumerate() {
+            assert_eq!(
+                a, b,
+                "seed {seed}: rates diverged after event {k}: {:?}",
+                events[k]
+            );
+        }
+    }
+}
+
 #[test]
 fn empty_schedule_reproduces_the_plain_run_bit_for_bit() {
     let sc = office_scenario(42);

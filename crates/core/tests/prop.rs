@@ -83,10 +83,10 @@ proptest! {
             now += SimDuration::from_secs(7);
             match op {
                 Op::Appear { p, cell } => {
-                    if !present.contains_key(&p) {
+                    if let std::collections::btree_map::Entry::Vacant(e) = present.entry(p) {
                         let c = cells[cell as usize % cells.len()];
                         mgr.portable_appears(PortableId(u32::from(p)), c, now);
-                        present.insert(p, c);
+                        e.insert(c);
                     }
                 }
                 Op::Connect { p, kbps_idx } => {

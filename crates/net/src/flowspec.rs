@@ -82,6 +82,8 @@ pub enum SpecError {
     InvertedBounds,
     /// Loss probability outside `[0, 1]`.
     LossOutOfRange,
+    /// A field is NaN or infinite.
+    NotFinite,
 }
 
 impl std::fmt::Display for SpecError {
@@ -90,6 +92,7 @@ impl std::fmt::Display for SpecError {
             SpecError::NonPositive => write!(f, "spec field must be positive"),
             SpecError::InvertedBounds => write!(f, "b_min exceeds b_max"),
             SpecError::LossOutOfRange => write!(f, "loss bound outside [0, 1]"),
+            SpecError::NotFinite => write!(f, "spec field is NaN or infinite"),
         }
     }
 }
@@ -150,6 +153,13 @@ impl QosRequest {
     /// Validate all bounds.
     pub fn validate(&self) -> Result<(), SpecError> {
         self.traffic.validate()?;
+        // Every comparison below is written so NaN falls into an error
+        // branch — except `b_min > b_max`, which is *false* for a NaN
+        // `b_max` and would let one through to crash the allocator's
+        // `clamp(b_min, b_max)` later. Check finiteness explicitly.
+        if !(self.b_max.is_finite() && self.b_min.is_finite()) {
+            return Err(SpecError::NotFinite);
+        }
         if !(self.b_min > 0.0 && self.delay_bound > 0.0 && self.jitter_bound >= 0.0) {
             return Err(SpecError::NonPositive);
         }
@@ -215,7 +225,34 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_bounds_rejected() {
+        // Regression: `b_min > b_max` is false when b_max is NaN, so a
+        // NaN upper bound used to validate cleanly and only blow up in
+        // the rate allocator's `clamp` much later.
+        assert_eq!(
+            QosRequest::bandwidth(16.0, f64::NAN).validate(),
+            Err(SpecError::NotFinite)
+        );
+        assert_eq!(
+            QosRequest::bandwidth(16.0, f64::INFINITY).validate(),
+            Err(SpecError::NotFinite)
+        );
+        // (With a valid traffic envelope, so the bounds check is what
+        // fires rather than the NaN-poisoned builder-derived envelope.)
+        assert_eq!(
+            QosRequest::bandwidth(f64::NAN, 16.0)
+                .with_traffic(TrafficSpec::new(1.0, 1.0))
+                .validate(),
+            Err(SpecError::NotFinite)
+        );
+    }
+
+    #[test]
     fn error_display() {
         assert_eq!(SpecError::InvertedBounds.to_string(), "b_min exceeds b_max");
+        assert_eq!(
+            SpecError::NotFinite.to_string(),
+            "spec field is NaN or infinite"
+        );
     }
 }

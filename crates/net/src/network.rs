@@ -54,6 +54,14 @@ impl Network {
         &mut self.links[l.index()]
     }
 
+    /// Ledgers of every link, with their ids.
+    pub fn links(&self) -> impl Iterator<Item = (LinkId, &LinkState)> {
+        self.links
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (LinkId::from_index(i), l))
+    }
+
     /// Live connections traversing a link.
     pub fn conns_on_link(&self, l: LinkId) -> impl Iterator<Item = &Connection> {
         self.link_conns[l.index()]

@@ -17,6 +17,7 @@ use arm_net::ids::ConnId;
 use arm_net::{Network, PortableId};
 
 use crate::maxmin::centralized::{apply_allocation, MaxminProblem};
+use crate::maxmin::incremental::IncrementalMaxmin;
 
 /// Recompute the maxmin division of excess bandwidth over the whole
 /// network and apply it to every live connection. Returns the number of
@@ -79,6 +80,50 @@ pub fn resolve_network_with_policy(
         })
         .count();
     apply_allocation(net, &alloc);
+    changed + mobile.len()
+}
+
+/// Like [`resolve_network_with_policy`], but against a resident
+/// [`IncrementalMaxmin`] engine instead of rebuilding the problem from
+/// scratch. The engine is diff-synced with the network (so only genuine
+/// changes dirty anything) and re-fills only the dirty region; the
+/// resulting rates are bit-identical to [`resolve_network_with_policy`]
+/// because both paths run the same per-component water-filling on the
+/// same inputs (see `arm_qos::maxmin::incremental` module docs).
+pub fn resolve_network_incremental(
+    net: &mut Network,
+    is_static: &dyn Fn(PortableId) -> bool,
+    engine: &mut IncrementalMaxmin,
+) -> usize {
+    // Pin mobile connections at their floors first (frees excess).
+    let mobile: Vec<ConnId> = net
+        .live_connections()
+        .filter(|c| !is_static(c.portable))
+        .map(|c| c.id)
+        .collect();
+    for id in &mobile {
+        let (floor, cur) = {
+            let c = net.get(*id).expect("live connection");
+            (c.qos.b_min, c.b_current)
+        };
+        if cur > floor + 1e-9 {
+            net.set_conn_rate(*id, floor)
+                .expect("decreasing to floor always fits");
+        }
+    }
+    // Sync the engine to the static connections' demand side and every
+    // link's excess, then re-fill whatever that dirtied.
+    engine.sync_network(net, &|c| is_static(c.portable));
+    let alloc = engine.resolve();
+    let changed = alloc
+        .iter()
+        .filter(|(id, x)| {
+            net.get(**id)
+                .map(|c| (c.qos.b_min + **x - c.b_current).abs() > 1e-9)
+                .unwrap_or(false)
+        })
+        .count();
+    apply_allocation(net, alloc);
     changed + mobile.len()
 }
 
@@ -173,6 +218,24 @@ mod tests {
         assert!((net.get(mob).unwrap().b_current - 100.0).abs() < 1e-9);
         // The static portable takes all the excess: 1000 − 100 = 900.
         assert!((net.get(stat).unwrap().b_current - 900.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn malformed_allocation_degrades_to_floor_not_panic() {
+        // Regression: a NaN or negative excess entry (impossible from
+        // `solve`, but reachable through hand-built allocations) used to
+        // flow into `set_conn_rate` unchecked; now it clamps to the
+        // guaranteed floor.
+        let (mut net, cell) = one_cell_net();
+        let a = admit_local(&mut net, cell, 0, QosRequest::bandwidth(100.0, 2000.0));
+        let b = admit_local(&mut net, cell, 1, QosRequest::bandwidth(100.0, 2000.0));
+        let mut alloc = std::collections::BTreeMap::new();
+        alloc.insert(a, f64::NAN);
+        alloc.insert(b, -50.0);
+        apply_allocation(&mut net, &alloc);
+        assert_eq!(net.get(a).unwrap().b_current, 100.0);
+        assert_eq!(net.get(b).unwrap().b_current, 100.0);
+        assert!(net.check_invariants().is_ok());
     }
 
     #[test]

@@ -76,17 +76,34 @@ pub fn is_restricted(recorded_rate: f64, mu: f64) -> bool {
 ///
 /// `others` are the recorded rates of every other connection on the link.
 pub fn advertised_rate_for(excess: f64, others: &[f64]) -> f64 {
+    advertised_rate_for_iter(excess, others.len(), || others.iter().copied())
+}
+
+/// Allocation-free form of [`advertised_rate_for`]: `others` yields the
+/// other connections' recorded rates afresh on each call (the fixed-point
+/// iteration classifies them several times) and `n_others` is how many it
+/// yields. Hot packet-processing paths use this to avoid building a rate
+/// vector per packet.
+pub fn advertised_rate_for_iter<I, F>(excess: f64, n_others: usize, others: F) -> f64
+where
+    I: Iterator<Item = f64>,
+    F: Fn() -> I,
+{
     let excess = excess.max(0.0);
-    let n = others.len() + 1; // the subject is always unrestricted
+    let n = n_others + 1; // the subject is always unrestricted
     let mut mu = excess / n as f64;
     // Iterate the classification to its fixed point; with the subject
     // pinned unrestricted the denominator never vanishes, and each round
     // can only move connections between the two classes, so
-    // `others.len() + 1` rounds certainly suffice.
-    for _ in 0..=others.len() + 1 {
-        let restricted: Vec<f64> = others.iter().copied().filter(|r| *r <= mu + EPS).collect();
-        let b_r: f64 = restricted.iter().sum();
-        let next = (excess - b_r).max(0.0) / (n - restricted.len()) as f64;
+    // `n_others + 1` rounds certainly suffice.
+    for _ in 0..=n_others + 1 {
+        let mut b_r = 0.0;
+        let mut n_r = 0usize;
+        for r in others().filter(|r| *r <= mu + EPS) {
+            b_r += r;
+            n_r += 1;
+        }
+        let next = (excess - b_r).max(0.0) / (n - n_r) as f64;
         if (next - mu).abs() <= EPS {
             mu = next;
             break;

@@ -8,7 +8,7 @@
 //! solver used by the large-scale experiments where simulating control
 //! packets per adaptation would dominate run time.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use arm_net::ids::{ConnId, LinkId};
 use arm_net::Network;
@@ -81,67 +81,25 @@ impl MaxminProblem {
 
     /// Solve by progressive filling. Runs in O((links + conns)²) in the
     /// worst case, which is trivial at the scale of indoor environments.
+    ///
+    /// Internally the problem is decomposed into the connected components
+    /// of the bipartite link/connection sharing graph and each component
+    /// is filled independently by [`solve_component`]; the incremental
+    /// engine ([`crate::maxmin::incremental`]) re-runs the *same* routine
+    /// on the *same* component data, so a partial re-solve is bit-identical
+    /// to a from-scratch one.
     pub fn solve(&self) -> Allocation {
         let mut alloc: Allocation = self.conns.keys().map(|c| (*c, 0.0)).collect();
-        let mut active: Vec<ConnId> = self
-            .conns
-            .iter()
-            .filter(|(_, d)| d.demand > 0.0 && !d.links.is_empty())
-            .map(|(c, _)| *c)
-            .collect();
-        // Connections with zero demand are already final at 0.
-        let mut guard = self.conns.len() + self.link_excess.len() + 2;
-        while !active.is_empty() && guard > 0 {
-            guard -= 1;
-            // Headroom per link and active-connection count per link.
-            let mut headroom: BTreeMap<LinkId, (f64, usize)> = BTreeMap::new();
-            for (lid, cap) in &self.link_excess {
-                let used: f64 = self
-                    .conns
-                    .iter()
-                    .filter(|(_, d)| d.links.contains(lid))
-                    .map(|(c, _)| alloc[c])
-                    .sum();
-                let n_active = active
-                    .iter()
-                    .filter(|c| self.conns[c].links.contains(lid))
-                    .count();
-                if n_active > 0 {
-                    headroom.insert(*lid, ((cap - used).max(0.0), n_active));
-                }
-            }
-            // Largest uniform raise permitted by links and demands.
-            let link_limit = headroom
-                .values()
-                .map(|(h, n)| h / *n as f64)
-                .fold(f64::INFINITY, f64::min);
-            let demand_limit = active
-                .iter()
-                .map(|c| self.conns[c].demand - alloc[c])
-                .fold(f64::INFINITY, f64::min);
-            let inc = link_limit.min(demand_limit).max(0.0);
-            for c in &active {
-                *alloc.get_mut(c).expect("active conn in alloc") += inc;
-            }
-            // Freeze: demand met, or on a saturated link.
-            let saturated: Vec<LinkId> = headroom
-                .iter()
-                .filter(|(_, (h, n))| h / *n as f64 <= inc + 1e-12)
-                .map(|(l, _)| *l)
-                .collect();
-            let before = active.len();
-            active.retain(|c| {
-                let d = &self.conns[c];
-                let demand_met = alloc[c] >= d.demand - 1e-12;
-                let on_saturated = d.links.iter().any(|l| saturated.contains(l));
-                !(demand_met || on_saturated)
-            });
-            if active.len() == before {
-                // No progress is only possible when inc == 0 on links with
-                // zero headroom, which the saturated rule catches; guard
-                // against float pathologies anyway.
-                break;
-            }
+        let index = link_index(&self.conns);
+        for comp in components(&self.conns, &index) {
+            solve_component(
+                &self.link_excess,
+                &self.conns,
+                &index,
+                &comp,
+                &mut alloc,
+                None,
+            );
         }
         alloc
     }
@@ -238,6 +196,174 @@ impl MaxminProblem {
     }
 }
 
+/// Build the reverse `LinkId → [ConnId]` index for a set of connection
+/// demands. Each connection appears at most once per link (routes are
+/// simple, but duplicates are tolerated), and members are listed in
+/// ascending `ConnId` order — the same order the per-round headroom sums
+/// used to visit them, so float summation order is preserved.
+pub fn link_index(conns: &BTreeMap<ConnId, ConnDemand>) -> BTreeMap<LinkId, Vec<ConnId>> {
+    let mut idx: BTreeMap<LinkId, Vec<ConnId>> = BTreeMap::new();
+    for (c, d) in conns {
+        for l in &d.links {
+            let members = idx.entry(*l).or_default();
+            if members.last() != Some(c) {
+                members.push(*c);
+            }
+        }
+    }
+    idx
+}
+
+/// Decompose the bipartite link/connection sharing graph into connected
+/// components. Connections with an empty route are excluded (their
+/// allocation is always 0); zero-demand connections stay in — they never
+/// receive an increment but keep component membership stable under
+/// demand changes. Components are returned in ascending order of their
+/// smallest `ConnId`, members sorted.
+pub fn components(
+    conns: &BTreeMap<ConnId, ConnDemand>,
+    index: &BTreeMap<LinkId, Vec<ConnId>>,
+) -> Vec<Vec<ConnId>> {
+    let ids: Vec<ConnId> = conns
+        .iter()
+        .filter(|(_, d)| !d.links.is_empty())
+        .map(|(c, _)| *c)
+        .collect();
+    let pos: BTreeMap<ConnId, usize> = ids.iter().enumerate().map(|(i, c)| (*c, i)).collect();
+    let mut parent: Vec<usize> = (0..ids.len()).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]]; // path halving
+            x = parent[x];
+        }
+        x
+    }
+    for members in index.values() {
+        let mut it = members.iter().filter_map(|c| pos.get(c).copied());
+        if let Some(first) = it.next() {
+            let root = find(&mut parent, first);
+            for m in it {
+                let r = find(&mut parent, m);
+                parent[r] = root;
+            }
+        }
+    }
+    let mut comps: BTreeMap<usize, Vec<ConnId>> = BTreeMap::new();
+    for (i, c) in ids.iter().enumerate() {
+        let root = find(&mut parent, i);
+        comps.entry(root).or_default().push(*c);
+    }
+    // BTreeMap keys are root *positions*; positions follow ConnId order,
+    // so values() already comes out ordered by smallest member. Members
+    // were pushed in ascending `ids` order, hence sorted.
+    comps.into_values().collect()
+}
+
+/// Progressive filling restricted to one connected component: raise every
+/// active member uniformly until a link saturates or a demand is met,
+/// freeze, repeat. Entries of `alloc` for `comp` members are reset to 0
+/// first; entries outside `comp` are never read or written (links of a
+/// component are traversed only by its members, so headroom sums see
+/// component allocations only).
+///
+/// When `bottleneck` is given, each connection frozen by link saturation
+/// (rather than by meeting its demand) is recorded against the saturated
+/// links that froze it — the resident per-link bottleneck sets `M(l)` of
+/// §5.3.1 kept by the incremental engine.
+pub fn solve_component(
+    link_excess: &BTreeMap<LinkId, f64>,
+    conns: &BTreeMap<ConnId, ConnDemand>,
+    index: &BTreeMap<LinkId, Vec<ConnId>>,
+    comp: &[ConnId],
+    alloc: &mut Allocation,
+    mut bottleneck: Option<&mut BTreeMap<LinkId, BTreeSet<ConnId>>>,
+) {
+    for c in comp {
+        alloc.insert(*c, 0.0);
+    }
+    let mut active: Vec<ConnId> = comp
+        .iter()
+        .filter(|c| conns[c].demand > 0.0)
+        .copied()
+        .collect();
+    let mut is_active: BTreeSet<ConnId> = active.iter().copied().collect();
+    // The component's links, ascending, restricted to known capacities —
+    // links absent from `link_excess` impose no limit, as before.
+    let comp_links: Vec<LinkId> = comp
+        .iter()
+        .flat_map(|c| conns[c].links.iter().copied())
+        .filter(|l| link_excess.contains_key(l))
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let mut guard = comp.len() + comp_links.len() + 2;
+    while !active.is_empty() && guard > 0 {
+        guard -= 1;
+        // Headroom and active-connection count per component link.
+        let mut headroom: Vec<(LinkId, f64, usize)> = Vec::with_capacity(comp_links.len());
+        for lid in &comp_links {
+            let members = index.get(lid).map(Vec::as_slice).unwrap_or(&[]);
+            let mut used = 0.0;
+            let mut n_active = 0usize;
+            for c in members {
+                used += alloc[c];
+                if is_active.contains(c) {
+                    n_active += 1;
+                }
+            }
+            if n_active > 0 {
+                let cap = link_excess[lid];
+                headroom.push((*lid, (cap - used).max(0.0), n_active));
+            }
+        }
+        // Largest uniform raise permitted by links and demands.
+        let link_limit = headroom
+            .iter()
+            .map(|(_, h, n)| h / *n as f64)
+            .fold(f64::INFINITY, f64::min);
+        let demand_limit = active
+            .iter()
+            .map(|c| conns[c].demand - alloc[c])
+            .fold(f64::INFINITY, f64::min);
+        let inc = link_limit.min(demand_limit).max(0.0);
+        for c in &active {
+            *alloc.get_mut(c).expect("active conn in alloc") += inc;
+        }
+        // Freeze: demand met, or on a saturated link.
+        let saturated: Vec<LinkId> = headroom
+            .iter()
+            .filter(|(_, h, n)| h / *n as f64 <= inc + 1e-12)
+            .map(|(l, _, _)| *l)
+            .collect();
+        let before = active.len();
+        active.retain(|c| {
+            let d = &conns[c];
+            let demand_met = alloc[c] >= d.demand - 1e-12;
+            let on_saturated = d.links.iter().any(|l| saturated.binary_search(l).is_ok());
+            if !(demand_met || on_saturated) {
+                return true;
+            }
+            is_active.remove(c);
+            if let Some(bn) = bottleneck.as_deref_mut() {
+                if !demand_met {
+                    for l in &d.links {
+                        if saturated.binary_search(l).is_ok() {
+                            bn.entry(*l).or_default().insert(*c);
+                        }
+                    }
+                }
+            }
+            false
+        });
+        if active.len() == before {
+            // No progress is only possible when inc == 0 on links with
+            // zero headroom, which the saturated rule catches; guard
+            // against float pathologies anyway.
+            break;
+        }
+    }
+}
+
 /// Apply a solved allocation to the network ledgers: every live
 /// connection's rate becomes `b_min + excess`. Decreases are applied
 /// first so increases always fit.
@@ -245,17 +371,22 @@ pub fn apply_allocation(net: &mut Network, alloc: &Allocation) {
     let mut changes: Vec<(ConnId, f64)> = Vec::new();
     for c in net.live_connections() {
         if let Some(x) = alloc.get(&c.id) {
+            // A non-finite or negative excess never reaches the ledger:
+            // clamp to zero so a malformed allocation degrades to "hold
+            // the floor" instead of panicking inside `f64::clamp`.
+            let x = if x.is_finite() { x.max(0.0) } else { 0.0 };
             let target = (c.qos.b_min + x).clamp(c.qos.b_min, c.qos.b_max);
             if (target - c.b_current).abs() > 1e-9 {
                 changes.push((c.id, target));
             }
         }
     }
-    // Decreases first.
+    // Decreases first. `total_cmp` keeps the sort well-defined even if a
+    // ledger rate were ever NaN — order is all that matters here.
     changes.sort_by(|a, b| {
         let da = a.1 - net.get(a.0).map(|c| c.b_current).unwrap_or(0.0);
         let db = b.1 - net.get(b.0).map(|c| c.b_current).unwrap_or(0.0);
-        da.partial_cmp(&db).expect("no NaN rates")
+        da.total_cmp(&db)
     });
     for (id, target) in changes {
         net.set_conn_rate(id, target)

@@ -59,7 +59,7 @@ use arm_net::ids::{ConnId, LinkId};
 use arm_sim::engine::{Ctx, Model};
 use arm_sim::{SimDuration, SimRng};
 
-use super::advertised::advertised_rate_for;
+use super::advertised::advertised_rate_for_iter;
 
 /// Rate agreement tolerance: changes smaller than this don't trigger
 /// further control traffic (prevents float-noise loops).
@@ -171,14 +171,16 @@ struct LinkCtl {
 
 impl LinkCtl {
     /// The rate this link quotes to `subject` (treated as unrestricted).
+    /// Allocation-free: the recorded rates are re-walked per fixed-point
+    /// round instead of collected, since this runs per packet.
     fn mu_for(&self, subject: ConnId) -> f64 {
-        let others: Vec<f64> = self
-            .conns
-            .iter()
-            .filter(|c| **c != subject)
-            .map(|c| self.recorded.get(c).copied().unwrap_or(0.0))
-            .collect();
-        advertised_rate_for(self.excess, &others)
+        let n_others = self.conns.len() - usize::from(self.conns.contains(&subject));
+        advertised_rate_for_iter(self.excess, n_others, || {
+            self.conns
+                .iter()
+                .filter(move |c| **c != subject)
+                .map(|c| self.recorded.get(c).copied().unwrap_or(0.0))
+        })
     }
 }
 
@@ -536,14 +538,19 @@ impl DistributedMaxmin {
             self.maybe_activate(ctx);
             return;
         }
-        let cctl = match self.conns.get(&pkt.conn) {
-            Some(c) => c.clone(),
+        // Borrow only the scalars the hop needs — no per-packet clone of
+        // the connection control block.
+        let (lid, n, origin_pos) = match self.conns.get(&pkt.conn) {
+            Some(c) => (
+                c.links[pkt.pos],
+                c.links.len(),
+                c.links.iter().position(|l| *l == pkt.origin).unwrap_or(0),
+            ),
             None => {
                 self.maybe_activate(ctx);
                 return;
             }
         };
-        let lid = cctl.links[pkt.pos];
         {
             let ctl = self.links.get_mut(&lid).expect("link registered");
             let mu = ctl.mu_for(pkt.conn);
@@ -560,16 +567,10 @@ impl DistributedMaxmin {
                 pkt.stamped = mu;
             }
         }
-        self.forward(pkt, &cctl, ctx);
+        self.forward(pkt, n, origin_pos, ctx);
     }
 
-    fn forward(&mut self, mut pkt: Packet, cctl: &ConnCtl, ctx: &mut Ctx<'_, Ev>) {
-        let n = cctl.links.len();
-        let origin_pos = cctl
-            .links
-            .iter()
-            .position(|l| *l == pkt.origin)
-            .unwrap_or(0);
+    fn forward(&mut self, mut pkt: Packet, n: usize, origin_pos: usize, ctx: &mut Ctx<'_, Ev>) {
         match (pkt.leg, pkt.dir) {
             (Leg::Out, Dir::Up) => {
                 if pkt.pos == 0 {
@@ -651,8 +652,12 @@ impl DistributedMaxmin {
     /// Fix the converged rate: update every link's recorded rate, emit
     /// UPDATE packets, wake affected connections, start the next process.
     fn complete_session(&mut self, origin: LinkId, conn: ConnId, rate: f64, ctx: &mut Ctx<'_, Ev>) {
-        let cctl = match self.conns.get(&conn) {
-            Some(c) => c.clone(),
+        // Take the route out of the control block for the duration (and
+        // restore it below) instead of cloning it. The loops in between
+        // touch other connections' blocks only: `wake_inconsistent`
+        // excludes `conn` itself from re-requests.
+        let links = match self.conns.get_mut(&conn) {
+            Some(c) => std::mem::take(&mut c.links),
             None => {
                 self.maybe_activate(ctx);
                 return;
@@ -663,23 +668,29 @@ impl DistributedMaxmin {
         // carry the same value; any switch receiving UPDATE and ADVERTISE
         // simultaneously acts on the UPDATE first — trivially satisfied).
         let changed = (rate - old_rate).abs() > TOL;
-        for l in &cctl.links {
+        for l in &links {
             let ctl = self.links.get_mut(l).expect("link registered");
             ctl.recorded.insert(conn, rate);
         }
         if changed {
             // UPDATE packets for accounting and latency realism.
-            self.send_updates(origin, conn, rate, ctx);
+            self.send_updates(origin, conn, rate, &links, ctx);
             // Wake-ups per the variant's policy on every link the rate
             // change touched.
-            for l in cctl.links.clone() {
-                self.wake_inconsistent(l, Some(conn), ctx);
+            for l in &links {
+                self.wake_inconsistent(*l, Some(conn), ctx);
             }
         }
+        // Restore the route before anything re-inspects this connection.
+        let demand = {
+            let c = self.conns.get_mut(&conn).expect("not removed above");
+            c.links = links;
+            c.demand
+        };
         // Honour wake-ups that arrived while this process was in flight.
         if self.active_restart {
             self.active_restart = false;
-            let want = self.links[&origin].mu_for(conn).min(cctl.demand);
+            let want = self.links[&origin].mu_for(conn).min(demand);
             if (rate - want).abs() > TOL {
                 self.request_session(origin, conn, ctx);
             }
@@ -718,19 +729,23 @@ impl DistributedMaxmin {
         }
     }
 
-    /// Emit UPDATE packets fixing `conn`'s rate along its whole route.
-    fn send_updates(&mut self, origin: LinkId, conn: ConnId, rate: f64, ctx: &mut Ctx<'_, Ev>) {
-        let cctl = match self.conns.get(&conn) {
-            Some(c) => c.clone(),
-            None => return,
-        };
-        let pos = match cctl.links.iter().position(|l| *l == origin) {
+    /// Emit UPDATE packets fixing `conn`'s rate along its whole route
+    /// (`links`, passed by the caller who already holds it).
+    fn send_updates(
+        &mut self,
+        origin: LinkId,
+        conn: ConnId,
+        rate: f64,
+        links: &[LinkId],
+        ctx: &mut Ctx<'_, Ev>,
+    ) {
+        let pos = match links.iter().position(|l| *l == origin) {
             Some(p) => p,
             None => return,
         };
         let gid = self.next_gid;
         self.next_gid += 1;
-        let n = cctl.links.len();
+        let n = links.len();
         if pos > 0 {
             ctx.schedule_after(
                 self.hop_latency,
@@ -771,13 +786,14 @@ impl DistributedMaxmin {
 
     fn process_update(&mut self, mut pkt: Packet, ctx: &mut Ctx<'_, Ev>) {
         self.stats.update_hops += 1;
-        let cctl = match self.conns.get(&pkt.conn) {
-            Some(c) => c.clone(),
+        // Only the link at the packet's position and the route length are
+        // needed — borrow, don't clone.
+        let (lid, n) = match self.conns.get(&pkt.conn) {
+            Some(c) => (c.links[pkt.pos], c.links.len()),
             None => return,
         };
         // Recording is idempotent (complete_session already fixed it);
         // the packet exists for overhead accounting and latency realism.
-        let lid = cctl.links[pkt.pos];
         if let Some(ctl) = self.links.get_mut(&lid) {
             ctl.recorded.insert(pkt.conn, pkt.stamped);
         }
@@ -786,7 +802,7 @@ impl DistributedMaxmin {
                 pkt.pos -= 1;
                 ctx.schedule_after(self.hop_latency, Ev::Deliver(pkt));
             }
-            Dir::Down if pkt.pos + 1 < cctl.links.len() => {
+            Dir::Down if pkt.pos + 1 < n => {
                 pkt.pos += 1;
                 ctx.schedule_after(self.hop_latency, Ev::Deliver(pkt));
             }

@@ -1,0 +1,440 @@
+//! Incremental maxmin re-solve with churn-aware caching.
+//!
+//! Every admission, departure, handoff, and link event used to rebuild
+//! the whole maxmin problem and re-run progressive filling over all
+//! links and connections. Explicit-rate schemes (the paper's §5.3.1,
+//! Charny-style allocation) avoid that by keeping per-link bottleneck
+//! sets `M(l)` resident and only reworking what an event touched. This
+//! module is the centralized analogue: an engine that keeps the solved
+//! [`Allocation`], the reverse `LinkId → [ConnId]` index, and per-link
+//! bottleneck sets resident between events, marks links *dirty* on each
+//! mutation, and on [`IncrementalMaxmin::resolve`] re-runs water-filling
+//! restricted to the dirty region's transitive closure — connections
+//! sharing a dirty link, links those connections traverse, to a fixed
+//! point — reusing frozen rates everywhere else.
+//!
+//! ## Why the partial re-solve is exact (and bit-identical)
+//!
+//! The transitive closure of a dirty link is precisely the connected
+//! component of the bipartite link/connection sharing graph containing
+//! it. Distinct components share no links, so one component's
+//! allocations never appear in another's headroom sums: progressive
+//! filling factors exactly across components. [`MaxminProblem::solve`]
+//! itself is implemented as per-component runs of
+//! [`solve_component`](centralized::solve_component), and the engine
+//! re-runs *that same routine* on the same inputs — so after any event
+//! sequence the resident allocation is byte-for-byte the allocation a
+//! from-scratch solve would produce. The differential property test in
+//! `crates/qos/tests/incremental_prop.rs` checks this on random event
+//! sequences, and the chaos test in `crates/core/tests/chaos.rs` checks
+//! it end-to-end through the resource manager under link failures.
+//!
+//! ## Churn-aware caching
+//!
+//! Mutators only mark dirty on a *genuine* change: setting a link's
+//! excess to the value it already has, or re-upserting a connection with
+//! identical demand bits and route, is a no-op. A resolve with an empty
+//! dirty set returns the resident allocation untouched (a cache hit).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use arm_net::ids::{ConnId, LinkId};
+use arm_net::{Connection, Network};
+
+use super::centralized::{self, Allocation, ConnDemand, MaxminProblem};
+
+/// Counters describing how much work the engine has saved. Purely
+/// informational; exposed for benches and tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Resolves that found a non-empty dirty set.
+    pub incremental_solves: u64,
+    /// Resolves that returned the resident allocation untouched.
+    pub cache_hits: u64,
+    /// Connections re-filled across all incremental solves.
+    pub conns_resolved: u64,
+    /// Connections whose frozen rate was reused (registered minus
+    /// re-filled, summed over incremental solves).
+    pub conns_reused: u64,
+}
+
+/// Resident incremental maxmin solver (see module docs).
+#[derive(Clone, Debug, Default)]
+pub struct IncrementalMaxmin {
+    /// Excess capacity per link, mirroring `MaxminProblem::link_excess`.
+    link_excess: BTreeMap<LinkId, f64>,
+    /// Demand side, mirroring `MaxminProblem::conns`.
+    conns: BTreeMap<ConnId, ConnDemand>,
+    /// Reverse index: connections traversing each link, ascending.
+    index: BTreeMap<LinkId, Vec<ConnId>>,
+    /// The resident solved allocation (valid when `dirty` is empty).
+    alloc: Allocation,
+    /// Per-link bottleneck sets `M(l)`: connections frozen by that
+    /// link's saturation in the last solve touching it.
+    bottleneck: BTreeMap<LinkId, BTreeSet<ConnId>>,
+    /// Links whose region must be re-filled at the next resolve.
+    dirty: BTreeSet<LinkId>,
+    /// Work-saved counters.
+    pub stats: EngineStats,
+}
+
+impl IncrementalMaxmin {
+    /// An empty engine: no links, no connections, clean.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The resident allocation. Only current when [`Self::is_dirty`] is
+    /// false; call [`Self::resolve`] first otherwise.
+    pub fn allocation(&self) -> &Allocation {
+        &self.alloc
+    }
+
+    /// Connections frozen by `link`'s saturation in the last solve that
+    /// touched it — the resident bottleneck set `M(l)`.
+    pub fn bottleneck_set(&self, link: LinkId) -> Option<&BTreeSet<ConnId>> {
+        self.bottleneck.get(&link)
+    }
+
+    /// Does the engine have pending invalidations?
+    pub fn is_dirty(&self) -> bool {
+        !self.dirty.is_empty()
+    }
+
+    /// Number of registered connections.
+    pub fn conn_count(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Mark `link`'s region for re-fill without changing any input.
+    /// Unknown links are accepted (the closure is then empty).
+    pub fn touch_link(&mut self, link: LinkId) {
+        self.dirty.insert(link);
+    }
+
+    /// Set a link's excess capacity, dirtying it only if the value
+    /// actually changed (exact compare — churn-aware caching).
+    pub fn set_link_excess(&mut self, link: LinkId, excess: f64) {
+        match self.link_excess.get(&link) {
+            Some(cur) if cur.to_bits() == excess.to_bits() => {}
+            _ => {
+                self.link_excess.insert(link, excess);
+                self.dirty.insert(link);
+            }
+        }
+    }
+
+    /// Drop a link's capacity entry, dirtying every connection that
+    /// traversed it (they become unconstrained there, as in
+    /// [`MaxminProblem`] semantics for unknown links).
+    pub fn remove_link(&mut self, link: LinkId) {
+        if self.link_excess.remove(&link).is_some() {
+            self.dirty.insert(link);
+        }
+        self.bottleneck.remove(&link);
+    }
+
+    /// Insert or update a connection. A re-upsert with bit-identical
+    /// demand and an equal route is a no-op; otherwise the old and new
+    /// routes' links are dirtied.
+    pub fn upsert_conn(&mut self, id: ConnId, demand: f64, links: &[LinkId]) {
+        if let Some(cur) = self.conns.get(&id) {
+            if cur.demand.to_bits() == demand.to_bits() && cur.links == links {
+                return;
+            }
+            self.detach(id);
+        }
+        for l in links {
+            self.dirty.insert(*l);
+            let members = self.index.entry(*l).or_default();
+            if let Err(at) = members.binary_search(&id) {
+                members.insert(at, id);
+            }
+        }
+        self.conns.insert(
+            id,
+            ConnDemand {
+                demand,
+                links: links.to_vec(),
+            },
+        );
+        self.alloc.insert(id, 0.0);
+    }
+
+    /// Remove a connection, dirtying its route's links.
+    pub fn remove_conn(&mut self, id: ConnId) {
+        if self.conns.contains_key(&id) {
+            self.detach(id);
+            self.conns.remove(&id);
+            self.alloc.remove(&id);
+        }
+    }
+
+    /// Unhook `id` from the index and bottleneck sets and dirty its
+    /// links, leaving `conns`/`alloc` entries to the caller.
+    fn detach(&mut self, id: ConnId) {
+        let links = std::mem::take(&mut self.conns.get_mut(&id).expect("registered conn").links);
+        for l in &links {
+            self.dirty.insert(*l);
+            if let Some(members) = self.index.get_mut(l) {
+                if let Ok(at) = members.binary_search(&id) {
+                    members.remove(at);
+                }
+                if members.is_empty() {
+                    self.index.remove(l);
+                }
+            }
+            if let Some(m) = self.bottleneck.get_mut(l) {
+                m.remove(&id);
+            }
+        }
+    }
+
+    /// Diff the engine's inputs against the network's current ledgers:
+    /// link excesses from every link, demand `b_max − b_min` and route
+    /// from every live connection accepted by `include`. Only genuine
+    /// changes dirty anything, so calling this every epoch costs a scan
+    /// but no re-solve work when nothing moved. Mirrors
+    /// [`MaxminProblem::from_network`] filtered by `include`.
+    pub fn sync_network(&mut self, net: &Network, include: &dyn Fn(&Connection) -> bool) {
+        for (lid, link) in net.links() {
+            self.set_link_excess(lid, link.excess_available().max(0.0));
+        }
+        let mut seen: BTreeSet<ConnId> = BTreeSet::new();
+        for c in net.live_connections() {
+            if c.route.links.is_empty() || !include(c) {
+                continue;
+            }
+            seen.insert(c.id);
+            self.upsert_conn(c.id, c.qos.adaptable_range(), &c.route.links);
+        }
+        let gone: Vec<ConnId> = self
+            .conns
+            .keys()
+            .filter(|id| !seen.contains(id))
+            .copied()
+            .collect();
+        for id in gone {
+            self.remove_conn(id);
+        }
+    }
+
+    /// Re-fill the dirty region and return the (now current) resident
+    /// allocation. Each dirty link's transitive closure — one connected
+    /// component of the sharing graph — is re-run through
+    /// [`centralized::solve_component`]; everything else keeps its
+    /// frozen rate.
+    pub fn resolve(&mut self) -> &Allocation {
+        if self.dirty.is_empty() {
+            self.stats.cache_hits += 1;
+            return &self.alloc;
+        }
+        let dirty = std::mem::take(&mut self.dirty);
+        let mut visited: BTreeSet<LinkId> = BTreeSet::new();
+        let mut resolved = 0usize;
+        for seed in dirty {
+            if !visited.insert(seed) {
+                continue;
+            }
+            // Closure: conns on the seed → their links → fixed point.
+            let mut comp: BTreeSet<ConnId> = BTreeSet::new();
+            let mut frontier: Vec<LinkId> = vec![seed];
+            while let Some(l) = frontier.pop() {
+                // Stale bottleneck attributions die with the region.
+                self.bottleneck.remove(&l);
+                let members = self.index.get(&l).map(Vec::as_slice).unwrap_or(&[]);
+                for c in members {
+                    if comp.insert(*c) {
+                        for l2 in &self.conns[c].links {
+                            if visited.insert(*l2) {
+                                frontier.push(*l2);
+                            }
+                        }
+                    }
+                }
+            }
+            if comp.is_empty() {
+                continue;
+            }
+            let comp: Vec<ConnId> = comp.into_iter().collect();
+            resolved += comp.len();
+            centralized::solve_component(
+                &self.link_excess,
+                &self.conns,
+                &self.index,
+                &comp,
+                &mut self.alloc,
+                Some(&mut self.bottleneck),
+            );
+        }
+        self.stats.incremental_solves += 1;
+        self.stats.conns_resolved += resolved as u64;
+        self.stats.conns_reused += (self.conns.len() - resolved) as u64;
+        &self.alloc
+    }
+
+    /// A from-scratch [`MaxminProblem`] over the engine's current
+    /// inputs — the differential oracle used by tests.
+    pub fn as_problem(&self) -> MaxminProblem {
+        MaxminProblem {
+            link_excess: self.link_excess.clone(),
+            conns: self.conns.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lid(i: u32) -> LinkId {
+        LinkId(i)
+    }
+    fn cid(i: u32) -> ConnId {
+        ConnId(i)
+    }
+
+    fn assert_matches_fresh(e: &mut IncrementalMaxmin) {
+        let fresh = e.as_problem().solve();
+        let inc = e.resolve().clone();
+        assert_eq!(fresh.len(), inc.len(), "key sets differ");
+        for (c, x) in &fresh {
+            let y = inc[c];
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{c:?}: fresh {x} != incremental {y}"
+            );
+        }
+        assert!(e.as_problem().verify_maxmin(&inc).is_ok());
+    }
+
+    #[test]
+    fn single_link_churn_matches_fresh_solve() {
+        let mut e = IncrementalMaxmin::new();
+        e.set_link_excess(lid(0), 30.0);
+        e.upsert_conn(cid(0), 100.0, &[lid(0)]);
+        e.upsert_conn(cid(1), 100.0, &[lid(0)]);
+        assert_matches_fresh(&mut e);
+        assert!((e.allocation()[&cid(0)] - 15.0).abs() < 1e-9);
+        e.upsert_conn(cid(2), 100.0, &[lid(0)]);
+        assert_matches_fresh(&mut e);
+        assert!((e.allocation()[&cid(0)] - 10.0).abs() < 1e-9);
+        e.remove_conn(cid(1));
+        assert_matches_fresh(&mut e);
+        assert!((e.allocation()[&cid(2)] - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn untouched_component_is_reused_not_resolved() {
+        let mut e = IncrementalMaxmin::new();
+        e.set_link_excess(lid(0), 10.0);
+        e.set_link_excess(lid(1), 20.0);
+        e.upsert_conn(cid(0), 100.0, &[lid(0)]);
+        e.upsert_conn(cid(1), 100.0, &[lid(1)]);
+        e.upsert_conn(cid(2), 100.0, &[lid(1)]);
+        e.resolve();
+        let stats0 = e.stats;
+        // Churn only link 1's component.
+        e.upsert_conn(cid(3), 100.0, &[lid(1)]);
+        assert_matches_fresh(&mut e);
+        let solved = e.stats.conns_resolved - stats0.conns_resolved;
+        // The link-0 connection is frozen; only link-1's three re-fill.
+        // (assert_matches_fresh resolves once more on a clean engine,
+        // which is a cache hit and adds nothing.)
+        assert_eq!(solved, 3, "stats: {:?}", e.stats);
+        assert!(e.stats.conns_reused - stats0.conns_reused >= 1);
+    }
+
+    #[test]
+    fn clean_resolve_is_a_cache_hit() {
+        let mut e = IncrementalMaxmin::new();
+        e.set_link_excess(lid(0), 10.0);
+        e.upsert_conn(cid(0), 4.0, &[lid(0)]);
+        e.resolve();
+        let hits0 = e.stats.cache_hits;
+        e.resolve();
+        assert_eq!(e.stats.cache_hits, hits0 + 1);
+        // Re-applying identical inputs does not dirty anything.
+        e.set_link_excess(lid(0), 10.0);
+        e.upsert_conn(cid(0), 4.0, &[lid(0)]);
+        assert!(!e.is_dirty());
+        e.resolve();
+        assert_eq!(e.stats.cache_hits, hits0 + 2);
+    }
+
+    #[test]
+    fn capacity_change_refills_the_region() {
+        let mut e = IncrementalMaxmin::new();
+        e.set_link_excess(lid(0), 10.0);
+        e.set_link_excess(lid(1), 4.0);
+        e.upsert_conn(cid(0), 100.0, &[lid(0), lid(1)]);
+        e.upsert_conn(cid(1), 100.0, &[lid(0)]);
+        e.upsert_conn(cid(2), 100.0, &[lid(1)]);
+        assert_matches_fresh(&mut e);
+        assert!((e.allocation()[&cid(0)] - 2.0).abs() < 1e-9);
+        e.set_link_excess(lid(1), 12.0);
+        assert_matches_fresh(&mut e);
+        assert!(
+            (e.allocation()[&cid(0)] - 5.0).abs() < 1e-9,
+            "{:?}",
+            e.allocation()
+        );
+        e.set_link_excess(lid(1), 0.0);
+        assert_matches_fresh(&mut e);
+        assert_eq!(e.allocation()[&cid(0)], 0.0);
+    }
+
+    #[test]
+    fn route_change_dirties_old_and_new_links() {
+        let mut e = IncrementalMaxmin::new();
+        e.set_link_excess(lid(0), 10.0);
+        e.set_link_excess(lid(1), 6.0);
+        e.upsert_conn(cid(0), 100.0, &[lid(0)]);
+        e.upsert_conn(cid(1), 100.0, &[lid(0)]);
+        e.upsert_conn(cid(2), 100.0, &[lid(1)]);
+        assert_matches_fresh(&mut e);
+        // Handoff: conn 1 moves from link 0 to link 1.
+        e.upsert_conn(cid(1), 100.0, &[lid(1)]);
+        assert_matches_fresh(&mut e);
+        assert!((e.allocation()[&cid(0)] - 10.0).abs() < 1e-9);
+        assert!((e.allocation()[&cid(1)] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bottleneck_sets_track_saturating_links() {
+        let mut e = IncrementalMaxmin::new();
+        e.set_link_excess(lid(0), 10.0);
+        e.set_link_excess(lid(1), 4.0);
+        e.upsert_conn(cid(0), 100.0, &[lid(0), lid(1)]);
+        e.upsert_conn(cid(1), 100.0, &[lid(0)]);
+        e.upsert_conn(cid(2), 100.0, &[lid(1)]);
+        e.resolve();
+        // Link 1 (capacity 4, two conns at 2) froze conns 0 and 2.
+        let m1 = e.bottleneck_set(lid(1)).expect("link 1 saturates");
+        assert!(m1.contains(&cid(0)) && m1.contains(&cid(2)), "{m1:?}");
+        // Conn 1 meets link 0's remaining headroom; it is frozen by
+        // link 0's saturation in the final round.
+        let m0 = e.bottleneck_set(lid(0)).expect("link 0 saturates");
+        assert!(m0.contains(&cid(1)), "{m0:?}");
+        // Departure of conn 2 rebuilds M(1) without stale members.
+        e.remove_conn(cid(2));
+        e.resolve();
+        let m1 = e.bottleneck_set(lid(1)).expect("still saturating");
+        assert!(!m1.contains(&cid(2)), "{m1:?}");
+    }
+
+    #[test]
+    fn touch_link_refills_without_input_change() {
+        let mut e = IncrementalMaxmin::new();
+        e.set_link_excess(lid(0), 10.0);
+        e.upsert_conn(cid(0), 100.0, &[lid(0)]);
+        e.resolve();
+        e.touch_link(lid(0));
+        assert!(e.is_dirty());
+        assert_matches_fresh(&mut e);
+        // Touching an unknown link is harmless.
+        e.touch_link(lid(99));
+        assert_matches_fresh(&mut e);
+    }
+}

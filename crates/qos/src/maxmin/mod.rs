@@ -16,7 +16,11 @@
 //!   conflict-resolution path,
 //! * [`distributed`] — the event-driven ADVERTISE/UPDATE protocol of
 //!   §5.3.1, in both the flooding base variant and the `M(l)`-restricted
-//!   refinement.
+//!   refinement,
+//! * [`incremental`] — a resident engine that keeps the solved
+//!   allocation, reverse link→connection index, and per-link bottleneck
+//!   sets `M(l)` between events and re-fills only the dirty region's
+//!   transitive closure, bit-identical to a from-scratch solve.
 //!
 //! ## Bottleneck definitions (§5.2)
 //!
@@ -32,3 +36,4 @@
 pub mod advertised;
 pub mod centralized;
 pub mod distributed;
+pub mod incremental;

@@ -28,8 +28,7 @@ pub fn finish_times(packets: &[Packet], weights: &[f64], capacity: f64) -> Vec<D
     order.sort_by(|a, b| {
         packets[*a]
             .arrival
-            .partial_cmp(&packets[*b].arrival)
-            .expect("no NaN arrivals")
+            .total_cmp(&packets[*b].arrival)
             .then(a.cmp(b))
     });
 

@@ -48,8 +48,7 @@ pub fn simulate(
     order.sort_by(|a, b| {
         packets[*a]
             .arrival
-            .partial_cmp(&packets[*b].arrival)
-            .expect("no NaN")
+            .total_cmp(&packets[*b].arrival)
             .then(a.cmp(b))
     });
     let mut eligible = vec![0.0f64; packets.len()];
@@ -91,17 +90,12 @@ pub fn simulate(
         fn cmp(&self, other: &Self) -> std::cmp::Ordering {
             self.0
                 .cmp(&other.0)
-                .then(self.1.partial_cmp(&other.1).expect("no NaN"))
+                .then(self.1.total_cmp(&other.1))
                 .then(self.2.cmp(&other.2))
         }
     }
     let mut by_eligibility: Vec<usize> = (0..packets.len()).collect();
-    by_eligibility.sort_by(|a, b| {
-        eligible[*a]
-            .partial_cmp(&eligible[*b])
-            .expect("no NaN")
-            .then(a.cmp(b))
-    });
+    by_eligibility.sort_by(|a, b| eligible[*a].total_cmp(&eligible[*b]).then(a.cmp(b)));
     let mut heap: BinaryHeap<Reverse<Key>> = BinaryHeap::new();
     let mut departures = vec![0.0f64; packets.len()];
     let mut next = 0usize;

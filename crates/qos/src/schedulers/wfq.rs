@@ -30,8 +30,7 @@ pub fn simulate(packets: &[Packet], weights: &[f64], capacity: f64) -> Vec<Depar
     idx.sort_by(|a, b| {
         packets[*a]
             .arrival
-            .partial_cmp(&packets[*b].arrival)
-            .expect("no NaN")
+            .total_cmp(&packets[*b].arrival)
             .then(a.cmp(b))
     });
     let mut departures: Vec<Option<f64>> = vec![None; packets.len()];
@@ -52,10 +51,7 @@ pub fn simulate(packets: &[Packet], weights: &[f64], capacity: f64) -> Vec<Depar
     }
     impl Ord for Key {
         fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            self.0
-                .partial_cmp(&other.0)
-                .expect("no NaN keys")
-                .then(self.1.cmp(&other.1))
+            self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
         }
     }
     let mut heap: BinaryHeap<Reverse<Key>> = BinaryHeap::new();

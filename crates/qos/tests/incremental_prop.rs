@@ -1,0 +1,139 @@
+//! Differential property tests for the incremental maxmin engine: after
+//! an arbitrary sequence of admit/depart/capacity-change events, the
+//! resident allocation must match `MaxminProblem::solve` from scratch
+//! (to 1e-9 — in fact bit-for-bit) and `verify_maxmin` must hold.
+
+use arm_net::ids::{ConnId, LinkId};
+use arm_qos::maxmin::incremental::IncrementalMaxmin;
+use proptest::prelude::*;
+
+/// One churn event against the engine.
+#[derive(Clone, Debug)]
+enum Event {
+    /// Admit a new connection, or re-admit/renegotiate an existing id
+    /// with new demand and route (a handoff is exactly this).
+    Admit {
+        conn: u32,
+        demand: f64,
+        links: Vec<u32>,
+    },
+    /// Depart (no-op if the id is unknown — engines must tolerate it).
+    Depart { conn: u32 },
+    /// A link's excess capacity changes (fade, claim churn, restoration).
+    SetCapacity { link: u32, excess: f64 },
+}
+
+const N_LINKS: u32 = 5;
+const N_CONN_IDS: u32 = 12;
+
+fn demand_strategy() -> impl Strategy<Value = f64> {
+    prop_oneof![Just(1000.0f64), Just(0.0f64), 0.1f64..20.0]
+}
+
+fn links_strategy() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0..N_LINKS, 1..=3).prop_map(|mut ls| {
+        ls.sort_unstable();
+        ls.dedup();
+        ls
+    })
+}
+
+fn event_strategy() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        (0..N_CONN_IDS, demand_strategy(), links_strategy()).prop_map(|(conn, demand, links)| {
+            Event::Admit {
+                conn,
+                demand,
+                links,
+            }
+        }),
+        (0..N_CONN_IDS).prop_map(|conn| Event::Depart { conn }),
+        (0..N_LINKS, prop_oneof![Just(0.0f64), 0.5f64..50.0])
+            .prop_map(|(link, excess)| Event::SetCapacity { link, excess }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The tentpole's correctness anchor: incremental == from-scratch
+    /// after every prefix of a random event sequence, and the result is
+    /// always maxmin-optimal.
+    #[test]
+    fn incremental_matches_fresh_solve_after_any_event_sequence(
+        caps in prop::collection::vec(0.5f64..50.0, N_LINKS as usize),
+        events in prop::collection::vec(event_strategy(), 1..24),
+    ) {
+        let mut engine = IncrementalMaxmin::new();
+        for (i, c) in caps.iter().enumerate() {
+            engine.set_link_excess(LinkId(i as u32), *c);
+        }
+        for ev in &events {
+            match ev {
+                Event::Admit { conn, demand, links } => {
+                    let ls: Vec<LinkId> = links.iter().map(|l| LinkId(*l)).collect();
+                    engine.upsert_conn(ConnId(*conn), *demand, &ls);
+                }
+                Event::Depart { conn } => engine.remove_conn(ConnId(*conn)),
+                Event::SetCapacity { link, excess } => {
+                    engine.set_link_excess(LinkId(*link), *excess);
+                }
+            }
+            let fresh = engine.as_problem().solve();
+            let incremental = engine.resolve().clone();
+            prop_assert_eq!(
+                fresh.len(),
+                incremental.len(),
+                "allocation key sets diverged after {:?}",
+                ev
+            );
+            for (c, want) in &fresh {
+                let got = incremental[c];
+                prop_assert!(
+                    (got - want).abs() <= 1e-9,
+                    "{:?} after {:?}: incremental {} vs fresh {}",
+                    c, ev, got, want
+                );
+                prop_assert!(
+                    got.to_bits() == want.to_bits(),
+                    "{:?} after {:?}: not bit-identical ({} vs {})",
+                    c, ev, got, want
+                );
+            }
+            let verdict = engine.as_problem().verify_maxmin(&incremental);
+            prop_assert!(verdict.is_ok(), "not maxmin after {:?}: {:?}", ev, verdict);
+        }
+    }
+
+    /// Churn-aware caching: replaying the same inputs dirties nothing,
+    /// so a pure re-resolve is a cache hit and leaves the allocation
+    /// untouched.
+    #[test]
+    fn identical_inputs_do_not_dirty(
+        caps in prop::collection::vec(0.5f64..50.0, N_LINKS as usize),
+        conns in prop::collection::vec((demand_strategy(), links_strategy()), 1..8),
+    ) {
+        let mut engine = IncrementalMaxmin::new();
+        for (i, c) in caps.iter().enumerate() {
+            engine.set_link_excess(LinkId(i as u32), *c);
+        }
+        for (i, (demand, links)) in conns.iter().enumerate() {
+            let ls: Vec<LinkId> = links.iter().map(|l| LinkId(*l)).collect();
+            engine.upsert_conn(ConnId(i as u32), *demand, &ls);
+        }
+        engine.resolve();
+        let before = engine.stats;
+        // Replay everything verbatim.
+        for (i, c) in caps.iter().enumerate() {
+            engine.set_link_excess(LinkId(i as u32), *c);
+        }
+        for (i, (demand, links)) in conns.iter().enumerate() {
+            let ls: Vec<LinkId> = links.iter().map(|l| LinkId(*l)).collect();
+            engine.upsert_conn(ConnId(i as u32), *demand, &ls);
+        }
+        prop_assert!(!engine.is_dirty(), "verbatim replay must not dirty");
+        engine.resolve();
+        prop_assert_eq!(engine.stats.cache_hits, before.cache_hits + 1);
+        prop_assert_eq!(engine.stats.incremental_solves, before.incremental_solves);
+    }
+}

@@ -168,7 +168,7 @@ mod tests {
         };
         let out = aggregate(&demands, &tri_neighbors, &row);
         assert!((out[&cid(1)] - 60.0).abs() < 1e-9);
-        assert!(out.get(&cid(9)).is_none());
+        assert!(!out.contains_key(&cid(9)));
     }
 
     #[test]

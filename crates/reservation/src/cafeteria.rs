@@ -60,8 +60,17 @@ impl CafeteriaPredictor {
         Self::default()
     }
 
-    /// Record the handoff count of the slot that just ended.
+    /// Record the handoff count of the slot that just ended. A count is
+    /// a tally, so NaN/infinite/negative observations are sanitised to
+    /// zero at the door — otherwise a single bad sample would poison the
+    /// window and the short-window `predict` fallback would hand a
+    /// negative or NaN reservation straight to the claim sizing.
     pub fn observe(&mut self, count: f64) {
+        let count = if count.is_finite() {
+            count.max(0.0)
+        } else {
+            0.0
+        };
         if self.window.len() == 3 {
             self.window.pop_front();
         }
@@ -71,11 +80,11 @@ impl CafeteriaPredictor {
 
     /// Predicted handoffs for the next slot; falls back to the latest
     /// observation (one-step memory) until three slots are available,
-    /// and to zero before any observation.
+    /// and to zero before any observation. Never negative or NaN.
     pub fn predict(&self) -> f64 {
         match self.window.len() {
             0 => 0.0,
-            1 | 2 => *self.window.back().expect("non-empty"),
+            1 | 2 => self.window.back().expect("non-empty").max(0.0),
             _ => predict_next(self.window[0], self.window[1], self.window[2], self.t),
         }
     }
@@ -165,6 +174,24 @@ mod tests {
         // typo survived review.
         let mc = paper_printed_intercept(4.0, 4.0, 4.0, 9.0);
         assert!((mc - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bad_observations_never_produce_negative_or_nan_predictions() {
+        // Regression: with fewer than three samples, `predict` returns
+        // the newest observation raw — a negative or NaN sample became a
+        // negative or NaN reservation.
+        let mut p = CafeteriaPredictor::new();
+        p.observe(-3.0);
+        assert_eq!(p.predict(), 0.0);
+        p.observe(f64::NAN);
+        assert_eq!(p.predict(), 0.0);
+        p.observe(f64::INFINITY);
+        assert_eq!(p.predict(), 0.0);
+        // And the warm path stays finite and nonnegative too.
+        p.observe(2.0);
+        let pred = p.predict();
+        assert!(pred.is_finite() && pred >= 0.0, "pred={pred}");
     }
 
     #[test]

@@ -22,9 +22,15 @@ impl OneStepMemory {
         Self::default()
     }
 
-    /// Record the handoff count of the slot that just ended.
+    /// Record the handoff count of the slot that just ended. Counts are
+    /// tallies: NaN/infinite/negative observations sanitise to zero so
+    /// the echoed prediction can never size a negative reservation.
     pub fn observe(&mut self, count: f64) {
-        self.last = count;
+        self.last = if count.is_finite() {
+            count.max(0.0)
+        } else {
+            0.0
+        };
         self.seen_any = true;
     }
 
@@ -52,6 +58,20 @@ mod tests {
         assert_eq!(p.predict(), 7.0);
         p.observe(3.0);
         assert_eq!(p.predict(), 3.0);
+        assert!(p.warmed_up());
+    }
+
+    #[test]
+    fn bad_observations_are_sanitised() {
+        // Regression: the echo predictor used to repeat a negative or
+        // NaN sample verbatim as the next reservation size.
+        let mut p = OneStepMemory::new();
+        p.observe(-2.0);
+        assert_eq!(p.predict(), 0.0);
+        p.observe(f64::NAN);
+        assert_eq!(p.predict(), 0.0);
+        p.observe(f64::NEG_INFINITY);
+        assert_eq!(p.predict(), 0.0);
         assert!(p.warmed_up());
     }
 }

@@ -1,0 +1,37 @@
+//! # arm-attrs — inert marker attributes for the static-analysis layer
+//!
+//! The attributes here expand to their input unchanged; they exist so
+//! that policy machine-checked by `arm-check` (`cargo xtask check`) can
+//! be keyed on explicit, compiler-verified annotations instead of name
+//! conventions. Because they are real proc-macro attributes, a typo'd
+//! annotation is a compile error, not a silently skipped rule.
+
+use proc_macro::TokenStream;
+
+/// Marks a function as a *mutation site that touches allocations*: it
+/// admits, squeezes, reroutes, terminates, or otherwise moves rate state
+/// that the resident [`IncrementalMaxmin`] engine caches.
+///
+/// The `marks-dirty` rule of `arm-check` enforces, on every function
+/// carrying this attribute, that its body reaches one of the engine's
+/// invalidation methods (`mark_conn_dirty`, `mark_link_dirty`,
+/// `touch_link`, `sync_network`, `upsert_conn`, `remove_conn`,
+/// `set_link_excess`) — directly or through another annotated function —
+/// and, conversely, that no un-annotated function in an allocation
+/// module calls the raw ledger mutators. See `DESIGN.md` §8.
+///
+/// [`IncrementalMaxmin`]: ../arm_qos/maxmin/incremental/struct.IncrementalMaxmin.html
+#[proc_macro_attribute]
+pub fn marks_dirty(args: TokenStream, item: TokenStream) -> TokenStream {
+    // Inert: reject arguments (the rule key is the attribute itself),
+    // pass the item through untouched.
+    if !args.is_empty() {
+        let mut err: TokenStream =
+            "compile_error!(\"#[arm_attrs::marks_dirty] takes no arguments\");"
+                .parse()
+                .unwrap_or_default();
+        err.extend(item);
+        return err;
+    }
+    item
+}

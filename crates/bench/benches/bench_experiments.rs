@@ -47,10 +47,10 @@ fn bench_fig6(c: &mut Criterion) {
                 },
                 params,
             )
-        })
+        });
     });
     group.bench_function("unprotected_point", |b| {
-        b.iter(|| fig6::run(AdmissionPolicy::None, params))
+        b.iter(|| fig6::run(AdmissionPolicy::None, params));
     });
     group.finish();
 }
@@ -67,7 +67,7 @@ fn bench_generators(c: &mut Criterion) {
     group.bench_function("office_week", |b| {
         let f4 = Figure4::build();
         let params = office_case::OfficeCaseParams::default();
-        b.iter(|| office_case::generate(&f4, &params, &mut SimRng::new(1)))
+        b.iter(|| office_case::generate(&f4, &params, &mut SimRng::new(1)));
     });
     group.bench_function("meeting_55", |b| {
         let menv = meeting::MeetingEnv::build();
@@ -75,7 +75,7 @@ fn bench_generators(c: &mut Criterion) {
             attendees: 55,
             ..Default::default()
         };
-        b.iter(|| meeting::generate(&menv, &params, &mut SimRng::new(1)))
+        b.iter(|| meeting::generate(&menv, &params, &mut SimRng::new(1)));
     });
     group.finish();
 }

@@ -91,7 +91,7 @@ fn bench_distributed(c: &mut Criterion) {
                         }
                         engine.run();
                         engine.model().stats()
-                    })
+                    });
                 },
             );
         }
@@ -105,10 +105,10 @@ fn bench_advertised(c: &mut Criterion) {
         let mut rng = SimRng::new(2);
         let recorded: Vec<f64> = (0..n).map(|_| rng.uniform(0.0, 20.0)).collect();
         group.bench_with_input(BenchmarkId::new("mu", n), &recorded, |b, r| {
-            b.iter(|| advertised_rate(100.0, r))
+            b.iter(|| advertised_rate(100.0, r));
         });
         group.bench_with_input(BenchmarkId::new("mu_for", n), &recorded, |b, r| {
-            b.iter(|| advertised_rate_for(100.0, r))
+            b.iter(|| advertised_rate_for(100.0, r));
         });
     }
     group.finish();

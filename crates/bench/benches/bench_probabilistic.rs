@@ -36,16 +36,16 @@ fn bench_probabilistic(c: &mut Criterion) {
             |b, t| b.iter(|| solver.nonblocking_prob(t, &admitted)),
         );
         group.bench_with_input(BenchmarkId::new("admit_new", load), &types, |b, t| {
-            b.iter(|| solver.admit_new(t, 0))
+            b.iter(|| solver.admit_new(t, 0));
         });
     }
     let types = fig6_state(10, 10, 1, 1);
     group.bench_function("max_admissible", |b| {
-        b.iter(|| solver.max_admissible(&types))
+        b.iter(|| solver.max_admissible(&types));
     });
     for n in [10u32, 40, 100] {
         group.bench_with_input(BenchmarkId::new("binom_pmf", n), &n, |b, n| {
-            b.iter(|| binom_pmf(*n, 0.37))
+            b.iter(|| binom_pmf(*n, 0.37));
         });
     }
     group.finish();

@@ -90,8 +90,7 @@ fn main() {
             let got = classify(&profile, &cfg);
             println!(
                 "  {name:<16} learned: {:<24} (expected {expect})",
-                got.map(|c| c.to_string())
-                    .unwrap_or_else(|| "insufficient history".into()),
+                got.map_or_else(|| "insufficient history".into(), |c| c.to_string()),
             );
             got == Some(expect)
         };

@@ -82,8 +82,7 @@ fn main() {
     let mut shown = 0;
     for (prev, cur, next) in fac.triplets() {
         let name = |c: Option<arm_net::ids::CellId>| {
-            c.map(|c| f4.env.cell(c).name.clone())
-                .unwrap_or_else(|| "-".into())
+            c.map_or_else(|| "-".into(), |c| f4.env.cell(c).name.clone())
         };
         println!(
             "  ⟨prev {}, cur {}, next-predicted {}⟩",

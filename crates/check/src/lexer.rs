@@ -1,0 +1,352 @@
+//! A small Rust lexer for the domain lints.
+//!
+//! `arm-check` cannot use `syn` (the workspace builds offline and vendors
+//! only what the simulator needs), so the lint rules run over a token
+//! stream produced here instead of a full AST. The lexer understands
+//! everything that matters for *not lying about source structure* —
+//! line/block comments (nested), string/raw-string/byte-string/char
+//! literals, lifetimes vs. char literals — and degrades the rest of the
+//! language to identifiers, numbers, and single-character punctuation.
+//! Every token carries its source line so findings are clickable.
+
+/// One lexed token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`fn`, `partial_cmp`, `b_min`, …).
+    Ident(String),
+    /// Lifetime (`'a`) — kept distinct so `'a` never looks like a char.
+    Lifetime(String),
+    /// String literal, with quotes stripped and escapes left raw.
+    Str(String),
+    /// Char or byte literal (contents unexamined).
+    Char,
+    /// Numeric literal (contents kept for sign/zero checks).
+    Num(String),
+    /// Single punctuation character (`.`, `(`, `#`, `!`, …).
+    Punct(char),
+    /// Line (`//…`) or block (`/* … */`) comment, full text.
+    Comment(String),
+}
+
+/// A token plus the 1-indexed line it starts on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// 1-indexed source line of the token's first character.
+    pub line: u32,
+}
+
+impl SpannedTok {
+    /// Is this token the identifier `s`?
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(&self.tok, Tok::Ident(i) if i == s)
+    }
+
+    /// Is this token the punctuation character `c`?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.tok == Tok::Punct(c)
+    }
+}
+
+/// Lex `src` into spanned tokens. Comments are *kept* (rules use them
+/// for `arm-check: allow(...)` escapes); whitespace is dropped.
+pub fn lex(src: &str) -> Vec<SpannedTok> {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = b.len();
+    while i < n {
+        let c = b[i];
+        let start_line = line;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && b[i + 1] == '/' => {
+                let mut j = i;
+                while j < n && b[j] != '\n' {
+                    j += 1;
+                }
+                out.push(SpannedTok {
+                    tok: Tok::Comment(b[i..j].iter().collect()),
+                    line: start_line,
+                });
+                i = j;
+            }
+            '/' if i + 1 < n && b[i + 1] == '*' => {
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < n && depth > 0 {
+                    if b[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                    } else if j + 1 < n && b[j] == '/' && b[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if j + 1 < n && b[j] == '*' && b[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                out.push(SpannedTok {
+                    tok: Tok::Comment(b[i..j.min(n)].iter().collect()),
+                    line: start_line,
+                });
+                i = j;
+            }
+            '"' => {
+                let (s, j, nl) = scan_string(&b, i + 1);
+                out.push(SpannedTok {
+                    tok: Tok::Str(s),
+                    line: start_line,
+                });
+                line += nl;
+                i = j;
+            }
+            'r' | 'b' if starts_raw_or_byte_string(&b, i) => {
+                let (tok, j, nl) = scan_prefixed_string(&b, i);
+                out.push(SpannedTok {
+                    tok,
+                    line: start_line,
+                });
+                line += nl;
+                i = j;
+            }
+            '\'' => {
+                // Lifetime (`'ident` not followed by a closing quote) or
+                // char literal.
+                if i + 1 < n && (b[i + 1].is_alphabetic() || b[i + 1] == '_') {
+                    let mut j = i + 1;
+                    while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                        j += 1;
+                    }
+                    if j < n && b[j] == '\'' {
+                        // 'a' — a char literal after all.
+                        out.push(SpannedTok {
+                            tok: Tok::Char,
+                            line: start_line,
+                        });
+                        i = j + 1;
+                    } else {
+                        out.push(SpannedTok {
+                            tok: Tok::Lifetime(b[i + 1..j].iter().collect()),
+                            line: start_line,
+                        });
+                        i = j;
+                    }
+                } else {
+                    // '\n', '\'', 'x' … scan to the closing quote.
+                    let mut j = i + 1;
+                    while j < n && b[j] != '\'' {
+                        if b[j] == '\\' {
+                            j += 1;
+                        }
+                        j += 1;
+                    }
+                    out.push(SpannedTok {
+                        tok: Tok::Char,
+                        line: start_line,
+                    });
+                    i = (j + 1).min(n);
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                out.push(SpannedTok {
+                    tok: Tok::Ident(b[i..j].iter().collect()),
+                    line: start_line,
+                });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < n
+                    && (b[j].is_alphanumeric()
+                        || b[j] == '_'
+                        || b[j] == '.' && {
+                            // `1.0` yes, `1.max(…)` no: a digit must follow.
+                            j + 1 < n && b[j + 1].is_ascii_digit()
+                        })
+                {
+                    j += 1;
+                }
+                out.push(SpannedTok {
+                    tok: Tok::Num(b[i..j].iter().collect()),
+                    line: start_line,
+                });
+                i = j;
+            }
+            c => {
+                out.push(SpannedTok {
+                    tok: Tok::Punct(c),
+                    line: start_line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Does `b[i..]` start a raw string (`r"`, `r#"`), byte string (`b"`),
+/// or raw byte string (`br"`, `br#"`)? Mere identifiers starting with
+/// `r`/`b` must fall through to the ident path.
+fn starts_raw_or_byte_string(b: &[char], i: usize) -> bool {
+    let n = b.len();
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+        if j < n && b[j] == '"' {
+            return true;
+        }
+    }
+    if j < n && b[j] == 'r' {
+        j += 1;
+        while j < n && b[j] == '#' {
+            j += 1;
+        }
+        return j < n && b[j] == '"';
+    }
+    false
+}
+
+/// Scan a `"`-opened (non-raw) string starting *after* the quote.
+/// Returns (contents, index past closing quote, newlines consumed).
+fn scan_string(b: &[char], mut j: usize) -> (String, usize, u32) {
+    let n = b.len();
+    let mut s = String::new();
+    let mut nl = 0u32;
+    while j < n && b[j] != '"' {
+        if b[j] == '\\' && j + 1 < n {
+            s.push(b[j]);
+            s.push(b[j + 1]);
+            if b[j + 1] == '\n' {
+                nl += 1;
+            }
+            j += 2;
+            continue;
+        }
+        if b[j] == '\n' {
+            nl += 1;
+        }
+        s.push(b[j]);
+        j += 1;
+    }
+    (s, (j + 1).min(n), nl)
+}
+
+/// Scan a raw/byte/raw-byte string whose prefix starts at `i`.
+fn scan_prefixed_string(b: &[char], i: usize) -> (Tok, usize, u32) {
+    let n = b.len();
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+    }
+    let raw = j < n && b[j] == 'r';
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while j < n && b[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    // Opening quote.
+    j += 1;
+    let start = j;
+    let mut nl = 0u32;
+    if raw {
+        // Scan for `"` followed by `hashes` hash marks; no escapes.
+        'outer: while j < n {
+            if b[j] == '\n' {
+                nl += 1;
+            }
+            if b[j] == '"' {
+                let mut k = 0usize;
+                while k < hashes {
+                    if j + 1 + k >= n || b[j + 1 + k] != '#' {
+                        j += 1;
+                        continue 'outer;
+                    }
+                    k += 1;
+                }
+                let s: String = b[start..j].iter().collect();
+                return (Tok::Str(s), j + 1 + hashes, nl);
+            }
+            j += 1;
+        }
+        (Tok::Str(b[start..n.min(j)].iter().collect()), n, nl)
+    } else {
+        let (s, end, nl) = scan_string(b, start);
+        (Tok::Str(s), end, nl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(i) => Some(i),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_tokens() {
+        let src = r##"
+            // partial_cmp in a comment
+            /* unwrap in /* nested */ block */
+            let s = "expect(\"inside a string\") .partial_cmp";
+            let r = r#"panic! in a raw "string" too"#;
+            x.total_cmp(&y);
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"partial_cmp".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"panic".to_string()));
+        assert!(ids.contains(&"total_cmp".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'b' }");
+        assert!(toks
+            .iter()
+            .any(|t| matches!(&t.tok, Tok::Lifetime(l) if l == "a")));
+        assert!(toks.iter().any(|t| t.tok == Tok::Char));
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_constructs() {
+        let src = "let a = 1;\n/* two\nlines */\nlet b = \"x\ny\";\nunwrap";
+        let toks = lex(src);
+        let unwrap = toks.iter().find(|t| t.is_ident("unwrap")).unwrap();
+        assert_eq!(unwrap.line, 6);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_method_calls() {
+        let toks = lex("1.0_f64.max(0.0); 2.max(x)");
+        assert!(toks.iter().any(|t| t.is_ident("max")));
+        assert!(toks
+            .iter()
+            .any(|t| matches!(&t.tok, Tok::Num(s) if s == "1.0_f64")));
+        assert!(toks
+            .iter()
+            .any(|t| matches!(&t.tok, Tok::Num(s) if s == "2")));
+    }
+}

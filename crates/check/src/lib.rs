@@ -1,0 +1,23 @@
+//! `arm-check`: the workspace's static verification layer.
+//!
+//! Three prongs, driven by `cargo xtask check`:
+//!
+//! 1. **Domain lints** ([`lints`]) — a token-stream walker (the
+//!    workspace vendors no `syn`, so [`lexer`] provides a purpose-built
+//!    Rust lexer) over every library crate, enforcing the invariants
+//!    that generic tooling cannot know: `total_cmp` on rate-typed
+//!    floats, no unsanctioned panics in protocol code, the `b_min`
+//!    floor at allocation clamps, and the dirty-mark discipline of the
+//!    incremental maxmin engine via `#[arm_attrs::marks_dirty]`.
+//! 2. **Bounded model checking** ([`model`]) — the distributed maxmin
+//!    and round-trip admission protocols as explicit transition
+//!    systems, exhaustively explored over all interleavings on small
+//!    topologies, with minimal counterexample traces on failure.
+//! 3. **CI gates** — miri, sanitizers, `cargo-deny`, clippy: wired in
+//!    `.github/workflows/ci.yml`, not here.
+//!
+//! See `DESIGN.md` §8 for the rule catalogue and how to add a rule.
+
+pub mod lexer;
+pub mod lints;
+pub mod model;

@@ -1,0 +1,295 @@
+//! Explicit transition system of the Table 2 round-trip admission test.
+//!
+//! A re-statement of `arm_qos::admission::admit` — forward per-hop
+//! tests, destination checks, then a reverse pass that *re-validates
+//! and firmly reserves* hop by hop (the model-level analogue of the
+//! reverse relaxation pass ending in `Network::reserve_route`, whose
+//! whole point is that forward-pass results are stale by the time the
+//! reservation returns). The nondeterminism explored by the checker is
+//! the interleaving of several concurrent admission requests' hop
+//! steps — exactly the race window between a forward test and the firm
+//! reservation.
+//!
+//! Bandwidth floors and delays are small integers so states are exact
+//! `Ord` keys and the space stays finite.
+//!
+//! Properties:
+//! * **invariant** — per-link committed floors never exceed capacity
+//!   (`b_min` is never violated: every admitted connection's floor is
+//!   backed by real capacity);
+//! * **at quiescence** — every request is decided, and each link's
+//!   committed total equals the sum of floors of admitted requests
+//!   routed over it (no leaked reservations from rejected requests).
+
+use super::TransitionSystem;
+
+/// Known-bad admission variants the checker must catch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AdmissionMutant {
+    /// The correct protocol.
+    #[default]
+    None,
+    /// The reverse pass skips hop re-validation and commits
+    /// unconditionally, trusting the (stale) forward-pass test. Two
+    /// interleaved requests can then both pass forward over the same
+    /// bottleneck and both commit — overcommitting the link's floor
+    /// capacity and violating some connection's `b_min`.
+    SkipReverseRevalidation,
+}
+
+/// Where one admission request stands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ReqPhase {
+    /// Forward pass: next test at route hop `h` (accumulated delay so
+    /// far rides along).
+    Forward { hop: u8, delay: u16 },
+    /// All hops passed; destination tests pending.
+    DestCheck { delay: u16 },
+    /// Reverse pass: next re-validate-and-reserve at route hop `h`
+    /// (walking back from the destination).
+    Reverse { hop: u8 },
+    /// Firm reservation in place on every hop.
+    Admitted,
+    /// Rejected (any committed hops rolled back).
+    Rejected,
+}
+
+/// Full admission state: each request's phase plus the per-link ledger
+/// of committed floors.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct St {
+    phases: Vec<ReqPhase>,
+    committed: Vec<u16>,
+}
+
+/// A ≤3-link / ≤4-request admission instance plus checker config.
+#[derive(Clone, Debug)]
+pub struct AdmissionSystem {
+    /// Floor capacity per link (units of `b_min` bandwidth).
+    pub cap: Vec<u16>,
+    /// Per-hop delay contribution per link.
+    pub hop_delay: Vec<u16>,
+    /// Route (link indices) per request.
+    pub routes: Vec<Vec<u8>>,
+    /// Requested floor `b_min` per request.
+    pub b_min: Vec<u16>,
+    /// End-to-end delay bound per request (destination test).
+    pub d_max: Vec<u16>,
+    /// Seeded fault, if any.
+    pub mutant: AdmissionMutant,
+}
+
+impl AdmissionSystem {
+    /// A well-formed instance with permissive delay bounds.
+    pub fn new(cap: Vec<u16>, routes: Vec<Vec<u8>>, b_min: Vec<u16>) -> Self {
+        assert!(cap.len() <= 3, "precondition: at most 3 links");
+        assert!(routes.len() <= 4, "precondition: at most 4 requests");
+        assert_eq!(routes.len(), b_min.len());
+        for r in &routes {
+            assert!(!r.is_empty(), "precondition: routes must be non-empty");
+            for l in r {
+                assert!((*l as usize) < cap.len());
+            }
+        }
+        let n = routes.len();
+        AdmissionSystem {
+            hop_delay: vec![0; cap.len()],
+            d_max: vec![u16::MAX; n],
+            cap,
+            routes,
+            b_min,
+            mutant: AdmissionMutant::None,
+        }
+    }
+
+    /// Set per-link hop delays and per-request delay bounds (the
+    /// destination test becomes meaningful).
+    pub fn with_delays(mut self, hop_delay: Vec<u16>, d_max: Vec<u16>) -> Self {
+        assert_eq!(hop_delay.len(), self.cap.len());
+        assert_eq!(d_max.len(), self.routes.len());
+        self.hop_delay = hop_delay;
+        self.d_max = d_max;
+        self
+    }
+
+    /// Install a known-bad handler variant.
+    pub fn with_mutant(mut self, m: AdmissionMutant) -> Self {
+        self.mutant = m;
+        self
+    }
+
+    /// Advance request `r` by one protocol step.
+    fn step(&self, st: &St, r: usize) -> Option<(String, St)> {
+        let route = &self.routes[r];
+        let floor = self.b_min[r];
+        match st.phases[r] {
+            ReqPhase::Forward { hop, delay } => {
+                let l = route[hop as usize] as usize;
+                let mut next = st.clone();
+                // Table 2 forward test: does the hop have floor room?
+                if st.committed[l] + floor > self.cap[l] {
+                    next.phases[r] = ReqPhase::Rejected;
+                    return Some((format!("R{r}: forward test FAILS at L{l}"), next));
+                }
+                let delay = delay + self.hop_delay[l];
+                if hop as usize + 1 == route.len() {
+                    next.phases[r] = ReqPhase::DestCheck { delay };
+                    Some((
+                        format!("R{r}: forward test passes at L{l}, reaches destination"),
+                        next,
+                    ))
+                } else {
+                    next.phases[r] = ReqPhase::Forward {
+                        hop: hop + 1,
+                        delay,
+                    };
+                    Some((format!("R{r}: forward test passes at L{l}"), next))
+                }
+            }
+            ReqPhase::DestCheck { delay } => {
+                let mut next = st.clone();
+                if delay > self.d_max[r] {
+                    next.phases[r] = ReqPhase::Rejected;
+                    Some((
+                        format!(
+                            "R{r}: destination test FAILS ({delay} > D_max {})",
+                            self.d_max[r]
+                        ),
+                        next,
+                    ))
+                } else {
+                    next.phases[r] = ReqPhase::Reverse {
+                        hop: route.len() as u8 - 1,
+                    };
+                    Some((
+                        format!("R{r}: destination tests pass, reverse pass begins"),
+                        next,
+                    ))
+                }
+            }
+            ReqPhase::Reverse { hop } => {
+                let l = route[hop as usize] as usize;
+                let mut next = st.clone();
+                let revalidate = self.mutant != AdmissionMutant::SkipReverseRevalidation;
+                if revalidate && st.committed[l] + floor > self.cap[l] {
+                    // Stale forward result: roll back hops already
+                    // committed on the way back and reject.
+                    for rolled in &route[hop as usize + 1..] {
+                        next.committed[*rolled as usize] -= floor;
+                    }
+                    next.phases[r] = ReqPhase::Rejected;
+                    return Some((
+                        format!("R{r}: reverse re-validation FAILS at L{l}, rolls back"),
+                        next,
+                    ));
+                }
+                next.committed[l] += floor;
+                if hop == 0 {
+                    next.phases[r] = ReqPhase::Admitted;
+                    Some((format!("R{r}: reserves b_min at L{l}; ADMITTED"), next))
+                } else {
+                    next.phases[r] = ReqPhase::Reverse { hop: hop - 1 };
+                    Some((format!("R{r}: reserves b_min at L{l}"), next))
+                }
+            }
+            ReqPhase::Admitted | ReqPhase::Rejected => None,
+        }
+    }
+}
+
+impl TransitionSystem for AdmissionSystem {
+    type State = St;
+
+    fn initial(&self) -> St {
+        St {
+            phases: vec![ReqPhase::Forward { hop: 0, delay: 0 }; self.routes.len()],
+            committed: vec![0; self.cap.len()],
+        }
+    }
+
+    fn successors(&self, st: &St) -> Vec<(String, St)> {
+        (0..self.routes.len())
+            .filter_map(|r| self.step(st, r))
+            .collect()
+    }
+
+    fn invariant(&self, st: &St) -> Result<(), String> {
+        for (l, c) in st.committed.iter().enumerate() {
+            if *c > self.cap[l] {
+                return Err(format!(
+                    "b_min violated at L{l}: committed floors {c} exceed capacity {}",
+                    self.cap[l]
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn on_quiescent(&self, st: &St) -> Result<(), String> {
+        for (r, p) in st.phases.iter().enumerate() {
+            if !matches!(p, ReqPhase::Admitted | ReqPhase::Rejected) {
+                return Err(format!("R{r} stuck in {p:?} at quiescence"));
+            }
+        }
+        for l in 0..self.cap.len() {
+            let want: u16 = self
+                .routes
+                .iter()
+                .enumerate()
+                .filter(|(r, route)| {
+                    st.phases[*r] == ReqPhase::Admitted && route.contains(&(l as u8))
+                })
+                .map(|(r, _)| self.b_min[r])
+                .sum();
+            if st.committed[l] != want {
+                return Err(format!(
+                    "reservation leak at L{l}: ledger holds {}, admitted floors sum to {want}",
+                    st.committed[l]
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Checker;
+
+    #[test]
+    fn contended_bottleneck_never_overcommits() {
+        // Two requests race for one link that fits only one of them.
+        let sys = AdmissionSystem::new(vec![10], vec![vec![0], vec![0]], vec![7, 7]);
+        let stats = Checker::default().run("admission", &sys).expect("verified");
+        assert!(stats.quiescent >= 2, "both orders must be reachable");
+    }
+
+    #[test]
+    fn shared_path_three_links_verifies() {
+        let sys = AdmissionSystem::new(
+            vec![10, 6, 10],
+            vec![vec![0, 1, 2], vec![1], vec![2, 1, 0]],
+            vec![4, 4, 4],
+        );
+        Checker::default().run("admission", &sys).expect("verified");
+    }
+
+    #[test]
+    fn destination_delay_test_rejects_cleanly() {
+        let sys = AdmissionSystem::new(vec![10, 10], vec![vec![0, 1], vec![1]], vec![3, 3])
+            .with_delays(vec![5, 5], vec![8, 100]);
+        Checker::default().run("admission", &sys).expect("verified");
+    }
+
+    #[test]
+    fn reverse_revalidation_mutant_is_caught() {
+        let sys = AdmissionSystem::new(vec![10], vec![vec![0], vec![0]], vec![7, 7])
+            .with_mutant(AdmissionMutant::SkipReverseRevalidation);
+        let cx = Checker::default()
+            .run("admission", &sys)
+            .expect_err("mutant must overcommit");
+        assert!(cx.property.contains("b_min violated"), "{}", cx.property);
+        assert!(!cx.steps.is_empty());
+    }
+}

@@ -1,0 +1,30 @@
+//! The repo must pass its own domain lints.
+//!
+//! This is satellite discipline for `cargo xtask check`: every finding
+//! the lint pass can produce was fixed (or explicitly audited) when the
+//! pass landed, and this test keeps the tree at zero findings so CI
+//! failures always point at the offending diff, never at pre-existing
+//! noise.
+
+use std::path::Path;
+
+use arm_check::lints::run_lints;
+
+#[test]
+fn workspace_is_lint_clean() {
+    // crates/check/ -> crates/ -> workspace root.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/check sits two levels below the workspace root");
+    let findings = run_lints(root).expect("lint walk succeeds");
+    assert!(
+        findings.is_empty(),
+        "domain lint findings in the tree:\n{}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

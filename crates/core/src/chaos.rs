@@ -36,6 +36,7 @@ use crate::scenario::{build_manager, Scenario, ScenarioReport, WorkloadSpec};
 
 /// What a faulted run produced, beyond the ordinary report.
 #[derive(Clone, Debug)]
+#[must_use]
 pub struct ChaosOutcome {
     /// The ordinary scenario report.
     pub report: ScenarioReport,
@@ -250,7 +251,7 @@ pub fn run_with_faults(
 /// guaranteed floor of every live connection.
 fn assert_invariants(mgr: &ResourceManager, context: &str) {
     if let Err(e) = mgr.net.check_invariants() {
-        panic!("ledger invariant violated after {context}: {e}");
+        panic!("invariant: ledger conservation violated after {context}: {e}");
     }
     for c in mgr.net.live_connections() {
         assert!(

@@ -198,9 +198,8 @@ impl Model for Fig6Model {
                 ctx.schedule_after(gap, Ev::Arrive { cell, type_idx });
             }
             Ev::Depart { serial } => {
-                let live = match self.remove(serial) {
-                    Some(l) => l,
-                    None => return,
+                let Some(live) = self.remove(serial) else {
+                    return;
                 };
                 // With probability h the connection hands off to the
                 // neighbour cell; otherwise it terminates.
@@ -350,7 +349,7 @@ mod tests {
                 },
                 params,
             );
-            if p.p_b <= stat.p_b && best.map(|b| p.p_d < b.p_d).unwrap_or(true) {
+            if p.p_b <= stat.p_b && best.map_or(true, |b| p.p_d < b.p_d) {
                 best = Some(p);
             }
         }

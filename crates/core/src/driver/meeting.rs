@@ -148,11 +148,7 @@ pub fn run_trace(
             Some(_) => {
                 let dropped = mgr.portable_moved(ev.portable, ev.to, ev.time);
                 for id in dropped {
-                    if open_conns
-                        .get(&ev.portable)
-                        .map(|c| *c == id)
-                        .unwrap_or(false)
-                    {
+                    if open_conns.get(&ev.portable).is_some_and(|c| *c == id) {
                         open_conns.remove(&ev.portable);
                         if is_attendee(ev.portable) {
                             dropped_conns += 1;

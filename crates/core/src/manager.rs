@@ -1,3 +1,7 @@
+// Audited: every expect in this file is an `invariant:`/`precondition:`
+// panic (see the arm-check `no-panic` lint).
+#![allow(clippy::expect_used)]
+
 //! The integrated resource manager (the paper's Figure 1).
 //!
 //! One [`ResourceManager`] owns the network, the zone's profile server,
@@ -230,8 +234,7 @@ impl ResourceManager {
         let test = StaticMobileTest::new(self.cfg.t_th);
         self.portables
             .get(&p)
-            .map(|s| test.is_static(s.entered_at, now))
-            .unwrap_or(false)
+            .is_some_and(|s| test.is_static(s.entered_at, now))
     }
 
     // ------------------------------------------------------------------
@@ -264,6 +267,7 @@ impl ResourceManager {
     }
 
     /// A new-connection request from a tracked portable (§5.1).
+    #[arm_attrs::marks_dirty]
     pub fn request_connection(
         &mut self,
         p: PortableId,
@@ -273,7 +277,7 @@ impl ResourceManager {
         let cell = self
             .portables
             .get(&p)
-            .expect("portable must appear before requesting connections")
+            .expect("precondition: portable must appear before requesting connections")
             .cell;
         self.metrics.requests.incr();
         let id = self.net.next_conn_id();
@@ -307,7 +311,10 @@ impl ResourceManager {
             }
             Err(rej) => {
                 self.metrics.blocked.incr();
-                self.net.get_mut(id).expect("installed above").state = ConnectionState::Blocked;
+                self.net
+                    .get_mut(id)
+                    .expect("invariant: installed above")
+                    .state = ConnectionState::Blocked;
                 Err(rej)
             }
         }
@@ -320,15 +327,21 @@ impl ResourceManager {
     /// is restored and the connection continues under its previous
     /// bounds (re-negotiation failure must not kill an ongoing
     /// connection).
+    #[arm_attrs::marks_dirty]
     pub fn renegotiate(
         &mut self,
         id: ConnId,
         new_qos: QosRequest,
         now: SimTime,
     ) -> Result<(), arm_qos::Rejection> {
-        new_qos.validate().expect("caller validates the request");
+        new_qos
+            .validate()
+            .expect("precondition: caller validates the request");
         let (p, route, old_qos, live) = {
-            let c = self.net.get(id).expect("renegotiate on unknown connection");
+            let c = self
+                .net
+                .get(id)
+                .expect("precondition: renegotiate on unknown connection");
             (c.portable, c.route.clone(), c.qos, c.state.is_live())
         };
         assert!(live, "renegotiate on a finished connection");
@@ -336,7 +349,7 @@ impl ResourceManager {
         // Release the current reservation, swap in the new bounds.
         self.net.release_route(id, &route);
         {
-            let c = self.net.get_mut(id).expect("checked above");
+            let c = self.net.get_mut(id).expect("invariant: checked above");
             c.qos = new_qos;
             c.b_current = new_qos.b_min;
         }
@@ -363,11 +376,11 @@ impl ResourceManager {
                 // Restore the previous bounds; the resources were just
                 // freed, so re-admission under them cannot fail.
                 {
-                    let c = self.net.get_mut(id).expect("checked above");
+                    let c = self.net.get_mut(id).expect("invariant: checked above");
                     c.qos = old_qos;
                     c.b_current = old_qos.b_min;
                 }
-                admit(
+                let _ = admit(
                     &mut self.net,
                     AdmissionRequest {
                         conn: id,
@@ -376,7 +389,7 @@ impl ResourceManager {
                         kind: RequestKind::New,
                     },
                 )
-                .expect("restoring the previous reservation always fits");
+                .expect("invariant: restoring the previous reservation always fits");
                 self.mark_conn_dirty(id);
                 self.after_event(now);
                 Err(rej)
@@ -385,8 +398,9 @@ impl ResourceManager {
     }
 
     /// Normal connection teardown.
+    #[arm_attrs::marks_dirty]
     pub fn terminate(&mut self, id: ConnId, now: SimTime) {
-        if self.net.get(id).map(|c| c.state.is_live()).unwrap_or(false) {
+        if self.net.get(id).is_some_and(|c| c.state.is_live()) {
             self.mark_conn_dirty(id);
             self.multicast.teardown(&mut self.net, id);
             self.net.finish(id, ConnectionState::Terminated);
@@ -397,11 +411,12 @@ impl ResourceManager {
 
     /// A tracked portable hands off `from → to`. Returns the ids of
     /// connections dropped in the process.
+    #[arm_attrs::marks_dirty]
     pub fn portable_moved(&mut self, p: PortableId, to: CellId, now: SimTime) -> Vec<ConnId> {
         let state = *self
             .portables
             .get(&p)
-            .expect("portable must appear before moving");
+            .expect("precondition: portable must appear before moving");
         let from = state.cell;
         assert_ne!(from, to, "no-op move");
         // Profile bookkeeping. An outage of either involved zone's
@@ -518,6 +533,7 @@ impl ResourceManager {
     /// notified to do re-negotiation"). Returns the dropped connections,
     /// or [`ControlError::BadChannelFraction`] for a fraction outside
     /// `(0, 1]` (scenario input, so an error rather than a panic).
+    #[arm_attrs::marks_dirty]
     pub fn channel_change(
         &mut self,
         cell: CellId,
@@ -592,6 +608,7 @@ impl ResourceManager {
     /// nothing new is admitted until restoration. Idempotent: a second
     /// failure of a down link is a no-op. Returns the dropped
     /// connections.
+    #[arm_attrs::marks_dirty]
     pub fn link_failed(&mut self, link: LinkId, now: SimTime) -> Vec<ConnId> {
         if !self.down_links.insert(link) {
             return Vec::new();
@@ -601,7 +618,7 @@ impl ResourceManager {
         let ids = self.net.conn_ids_on_link(link);
         let mut dropped = Vec::new();
         for id in ids {
-            if !self.net.get(id).map(|c| c.state.is_live()).unwrap_or(false) {
+            if !self.net.get(id).is_some_and(|c| c.state.is_live()) {
                 continue;
             }
             self.mark_conn_dirty(id); // squeezed, re-routed, or dropped
@@ -612,10 +629,15 @@ impl ResourceManager {
                 dropped.push(id);
             } else if !self.try_reroute(id) {
                 // Ride out the outage at the guaranteed floor.
-                let b_min = self.net.get(id).expect("live connection").qos.b_min;
+                let b_min = self
+                    .net
+                    .get(id)
+                    .expect("invariant: live connection")
+                    .qos
+                    .b_min;
                 self.net
                     .set_conn_rate(id, b_min)
-                    .expect("shrinking to b_min never overcommits");
+                    .expect("invariant: shrinking to b_min never overcommits");
             }
         }
         self.seal_failed_link(link);
@@ -626,6 +648,7 @@ impl ResourceManager {
     /// The link comes back. Its outage seal is lifted, connections are
     /// re-routed back onto their shortest paths, and the normal
     /// adaptation path re-grows squeezed rates. Idempotent.
+    #[arm_attrs::marks_dirty]
     pub fn link_restored(&mut self, link: LinkId, now: SimTime) {
         if !self.down_links.remove(&link) {
             return;
@@ -677,7 +700,7 @@ impl ResourceManager {
     /// that differs from its current route and has room; true on success.
     fn try_reroute(&mut self, id: ConnId) -> bool {
         let (cell, old_route, b_min) = {
-            let c = self.net.get(id).expect("live connection");
+            let c = self.net.get(id).expect("invariant: live connection");
             (c.cell, c.route.clone(), c.qos.b_min)
         };
         let new_route = {
@@ -697,7 +720,7 @@ impl ResourceManager {
         }
         self.net.release_route(id, &old_route);
         {
-            let c = self.net.get_mut(id).expect("live connection");
+            let c = self.net.get_mut(id).expect("invariant: live connection");
             c.route = new_route;
             c.b_current = b_min;
         }
@@ -714,11 +737,11 @@ impl ResourceManager {
         // resources were just freed, so restoring cannot fail — and let
         // the caller squeeze instead.
         {
-            let c = self.net.get_mut(id).expect("live connection");
+            let c = self.net.get_mut(id).expect("invariant: live connection");
             c.route = old_route;
             c.b_current = b_min;
         }
-        admit(
+        let _ = admit(
             &mut self.net,
             AdmissionRequest {
                 conn: id,
@@ -727,7 +750,7 @@ impl ResourceManager {
                 kind: RequestKind::Handoff,
             },
         )
-        .expect("restoring the previous reservation always fits");
+        .expect("invariant: restoring the previous reservation always fits");
         false
     }
 
@@ -755,14 +778,14 @@ impl ResourceManager {
         claims_usable: bool,
     ) -> bool {
         let (old_route, b_min, from) = {
-            let c = self.net.get(id).expect("live connection");
+            let c = self.net.get(id).expect("invariant: live connection");
             (c.route.clone(), c.qos.b_min, c.cell)
         };
         // The old cell's resources are released as the portable leaves it.
         self.net.release_route(id, &old_route);
         let new_route = self.route_for(to);
         {
-            let c = self.net.get_mut(id).expect("live connection");
+            let c = self.net.get_mut(id).expect("invariant: live connection");
             c.route = new_route;
             c.cell = to;
             c.b_current = b_min;
@@ -780,7 +803,7 @@ impl ResourceManager {
             },
         };
         if admit(&mut self.net, req).is_ok() {
-            let c = self.net.get_mut(id).expect("live connection");
+            let c = self.net.get_mut(id).expect("invariant: live connection");
             c.handoffs += 1;
             return true;
         }
@@ -813,7 +836,7 @@ impl ResourceManager {
             .is_ok()
             {
                 self.metrics.claims_consumed.incr();
-                let c = self.net.get_mut(id).expect("live connection");
+                let c = self.net.get_mut(id).expect("invariant: live connection");
                 c.handoffs += 1;
                 return true;
             }
@@ -833,7 +856,7 @@ impl ResourceManager {
             self.net.topology().air_node(cell),
             self.server_node,
         )
-        .expect("star backbone is connected")
+        .expect("invariant: star backbone is connected")
     }
 
     fn is_meeting_room(&self, c: CellId) -> bool {
@@ -1010,8 +1033,7 @@ impl ResourceManager {
             let is_occupant = self
                 .profiles
                 .cell(state.cell)
-                .map(|cp| cp.is_occupant(*p))
-                .unwrap_or(false);
+                .is_some_and(|cp| cp.is_occupant(*p));
             let prediction = self.profiles.predict_at(*p, state.prev_cell, state.cell);
             match decide(class, is_occupant, prediction) {
                 ReservationDecision::PerConnection(target) => {
@@ -1060,7 +1082,10 @@ impl ResourceManager {
         let meeting_cells: Vec<CellId> = self.meeting_policies.keys().copied().collect();
         for m in meeting_cells {
             let (room, neighbor) = {
-                let policy = self.meeting_policies.get_mut(&m).expect("registered");
+                let policy = self
+                    .meeting_policies
+                    .get_mut(&m)
+                    .expect("invariant: registered");
                 (policy.room_demand(now), policy.neighbor_demand(now))
             };
             if room > 0.0 {
@@ -1105,7 +1130,7 @@ impl ResourceManager {
         } else {
             self.profiles
                 .cell(source)
-                .map(|cp| cp.aggregate_row())
+                .map(arm_profiles::CellProfile::aggregate_row)
                 .unwrap_or_default()
         };
         let known: f64 = neighbors.iter().filter_map(|n| row.get(n)).sum();

@@ -58,12 +58,9 @@ impl MulticastState {
         let mut branches = BTreeMap::new();
         for n in neighbors {
             let dst = net.topology().base_station(*n);
-            let route = match shortest_path(net.topology(), src, dst) {
-                Some(r) => r,
-                None => {
-                    self.failed_branches += 1;
-                    continue;
-                }
+            let Some(route) = shortest_path(net.topology(), src, dst) else {
+                self.failed_branches += 1;
+                continue;
             };
             // Admission on the wired legs only: every link must fit the
             // floor beside its existing floors and claims.

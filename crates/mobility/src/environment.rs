@@ -1,3 +1,7 @@
+// Audited: every expect in this file is an `invariant:`/`precondition:`
+// panic (see the arm-check `no-panic` lint).
+#![allow(clippy::expect_used)]
+
 //! Cell maps.
 //!
 //! An [`IndoorEnvironment`] is the logical floor plan: cells with a
@@ -247,9 +251,15 @@ pub fn office_wing(n_offices: usize) -> IndoorEnvironment {
     let meeting = env.add_cell("meeting-room", CellClass::Lounge(LoungeKind::MeetingRoom));
     env.connect(meeting, corridor[0]);
     let cafeteria = env.add_cell("cafeteria", CellClass::Lounge(LoungeKind::Cafeteria));
-    env.connect(cafeteria, *corridor.last().expect("non-empty corridor"));
+    env.connect(
+        cafeteria,
+        *corridor.last().expect("invariant: non-empty corridor"),
+    );
     let lounge = env.add_cell("lounge", CellClass::Lounge(LoungeKind::Default));
-    env.connect(lounge, *corridor.last().expect("non-empty corridor"));
+    env.connect(
+        lounge,
+        *corridor.last().expect("invariant: non-empty corridor"),
+    );
     env
 }
 

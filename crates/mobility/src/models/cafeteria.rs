@@ -135,7 +135,7 @@ mod tests {
         // slot should be clearly below the peak.
         let peak = arr.peak_slot().expect("some arrivals");
         assert!((2..=6).contains(&peak), "peak slot {peak}");
-        let max = v.iter().cloned().fold(0.0, f64::max);
+        let max = v.iter().copied().fold(0.0, f64::max);
         assert!(v[0] < max * 0.7, "ramp starts low: {v:?}");
     }
 

@@ -1,3 +1,7 @@
+// Audited: every expect in this file is an `invariant:`/`precondition:`
+// panic (see the arm-check `no-panic` lint).
+#![allow(clippy::expect_used)]
+
 //! The general dwell-and-move walker.
 //!
 //! Every specific model reduces to: a portable dwells in its current cell
@@ -72,7 +76,9 @@ impl<'a> Walker<'a> {
 
     /// Move to a neighbouring cell after `travel` time.
     pub fn step_to(&mut self, next: CellId, travel: SimDuration) -> &mut Self {
-        let from = self.at.expect("walker must appear before moving");
+        let from = self
+            .at
+            .expect("precondition: walker must appear before moving");
         assert!(
             self.env.are_neighbors(from, next),
             "{from:?} and {next:?} are not neighbours"
@@ -106,7 +112,9 @@ impl<'a> Walker<'a> {
         travel: SimDuration,
     ) -> &mut Self {
         for _ in 0..steps {
-            let here = self.at.expect("walker must appear before wandering");
+            let here = self
+                .at
+                .expect("precondition: walker must appear before wandering");
             let neighbors: Vec<CellId> = self.env.neighbors(here).collect();
             if neighbors.is_empty() {
                 break;

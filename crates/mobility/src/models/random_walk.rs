@@ -1,3 +1,7 @@
+// Audited: every expect in this file is an `invariant:`/`precondition:`
+// panic (see the arm-check `no-panic` lint).
+#![allow(clippy::expect_used)]
+
 //! The default-lounge pattern: memoryless random movement (§6.2.3).
 //!
 //! A population of portables wanders the environment: exponential dwell
@@ -63,7 +67,7 @@ pub fn generate(
         w.appear(cells[prng.index(cells.len())]);
         let end = SimTime::ZERO + params.span;
         while w.now() < end {
-            let here = w.position().expect("appeared");
+            let here = w.position().expect("invariant: appeared");
             let neighbors: Vec<CellId> = env.neighbors(here).collect();
             if neighbors.is_empty() {
                 break;

@@ -1,3 +1,7 @@
+// Audited: every expect in this file is an `invariant:`/`precondition:`
+// panic (see the arm-check `no-panic` lint).
+#![allow(clippy::expect_used)]
+
 //! Connection workload generators.
 //!
 //! Two workloads drive the paper's experiments:
@@ -44,7 +48,7 @@ impl WorkloadMix {
         let weights: Vec<f64> = self.entries.iter().map(|(w, _)| *w).collect();
         let idx = rng
             .weighted_choice(&weights)
-            .expect("mix has positive weights");
+            .expect("precondition: mix has positive weights");
         self.entries[idx].1
     }
 

@@ -1,3 +1,7 @@
+// Audited: every expect in this file is an `invariant:`/`precondition:`
+// panic (see the arm-check `no-panic` lint).
+#![allow(clippy::expect_used)]
+
 //! Strongly typed identifiers.
 //!
 //! Each entity class in the system model gets its own index newtype so a
@@ -28,7 +32,7 @@ macro_rules! define_id {
             /// Construct from a dense index.
             #[inline]
             pub fn from_index(i: usize) -> Self {
-                $name(u32::try_from(i).expect("id index overflow"))
+                $name(u32::try_from(i).expect("invariant: id index overflow"))
             }
         }
 

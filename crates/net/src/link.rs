@@ -1,3 +1,7 @@
+// Audited: every expect in this file is an `invariant:`/`precondition:`
+// panic (see the arm-check `no-panic` lint).
+#![allow(clippy::expect_used)]
+
 //! Per-link reservation ledgers.
 //!
 //! A [`LinkState`] tracks, for one capacity resource `l`:
@@ -318,7 +322,10 @@ impl LinkState {
         if increasing && new_sum + self.sum_resv > self.capacity + EPS {
             return Err(LedgerError::Overcommitted);
         }
-        let entry = self.allocs.get_mut(&conn).expect("checked above");
+        let entry = self
+            .allocs
+            .get_mut(&conn)
+            .expect("invariant: checked above");
         self.sum_b_alloc = new_sum;
         entry.b_alloc = b_alloc;
         self.debug_check();
@@ -332,7 +339,10 @@ impl LinkState {
         if new_sum > self.buffer_capacity + EPS {
             return Err(LedgerError::BufferExhausted);
         }
-        let entry = self.allocs.get_mut(&conn).expect("checked above");
+        let entry = self
+            .allocs
+            .get_mut(&conn)
+            .expect("invariant: checked above");
         self.sum_buffer = new_sum;
         entry.buffer = buffer;
         Ok(())
@@ -459,7 +469,7 @@ impl LinkState {
     fn debug_check(&self) {
         #[cfg(debug_assertions)]
         if let Err(e) = self.check_invariants() {
-            panic!("ledger invariant violated: {e}");
+            panic!("invariant: ledger invariant violated: {e}");
         }
     }
 }

@@ -1,3 +1,7 @@
+// Audited: every expect in this file is an `invariant:`/`precondition:`
+// panic (see the arm-check `no-panic` lint).
+#![allow(clippy::expect_used)]
+
 //! The assembled network: topology + per-link ledgers + connection table.
 //!
 //! [`Network`] is the mutable state every algorithm crate operates on. It
@@ -164,7 +168,7 @@ impl Network {
                     for l in &route.links[..done] {
                         self.links[l.index()]
                             .release(conn)
-                            .expect("rollback of just-reserved link");
+                            .expect("invariant: rollback of just-reserved link");
                         self.link_conns[l.index()].remove(&conn);
                     }
                     return Err((*l, e));
@@ -191,7 +195,9 @@ impl Network {
     /// lie in `[b_min, b_max]`.
     pub fn set_conn_rate(&mut self, id: ConnId, rate: f64) -> Result<(), (LinkId, LedgerError)> {
         let (route, b_min, b_max, old) = {
-            let c = self.get(id).expect("set_conn_rate on unknown connection");
+            let c = self
+                .get(id)
+                .expect("precondition: set_conn_rate on unknown connection");
             (c.route.clone(), c.qos.b_min, c.qos.b_max, c.b_current)
         };
         assert!(
@@ -207,13 +213,15 @@ impl Network {
                     for l in &route.links[..done] {
                         self.links[l.index()]
                             .set_alloc(id, old)
-                            .expect("rollback of rate change");
+                            .expect("invariant: rollback of rate change");
                     }
                     return Err((*l, e));
                 }
             }
         }
-        self.get_mut(id).expect("checked above").b_current = rate;
+        self.get_mut(id)
+            .expect("invariant: checked above")
+            .b_current = rate;
         Ok(())
     }
 
@@ -226,7 +234,7 @@ impl Network {
             _ => return,
         };
         self.release_route(id, &route);
-        let c = self.get_mut(id).expect("checked above");
+        let c = self.get_mut(id).expect("invariant: checked above");
         c.state = state;
         c.b_current = 0.0;
     }

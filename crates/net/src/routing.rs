@@ -1,3 +1,7 @@
+// Audited: every expect in this file is an `invariant:`/`precondition:`
+// panic (see the arm-check `no-panic` lint).
+#![allow(clippy::expect_used)]
+
 //! Route computation over the backbone.
 //!
 //! §4's overview assumes "an appropriate route found by a routing
@@ -30,12 +34,18 @@ impl Route {
 
     /// Source node.
     pub fn source(&self) -> NodeId {
-        *self.nodes.first().expect("route has at least one node")
+        *self
+            .nodes
+            .first()
+            .expect("invariant: route has at least one node")
     }
 
     /// Destination node.
     pub fn destination(&self) -> NodeId {
-        *self.nodes.last().expect("route has at least one node")
+        *self
+            .nodes
+            .last()
+            .expect("invariant: route has at least one node")
     }
 
     /// Whether the route traverses the given link resource.
@@ -130,7 +140,7 @@ pub fn shortest_path_avoiding(
     let mut links = Vec::new();
     let mut cur = dst;
     while cur != src {
-        let (p, l) = prev[cur.index()].expect("predecessor chain broken");
+        let (p, l) = prev[cur.index()].expect("invariant: predecessor chain broken");
         nodes.push(p);
         links.push(l);
         cur = p;

@@ -1,3 +1,7 @@
+// Audited: every expect in this file is an `invariant:`/`precondition:`
+// panic (see the arm-check `no-panic` lint).
+#![allow(clippy::expect_used)]
+
 //! Learning a cell's class from its observed behaviour (§6.4).
 //!
 //! "In the case that a cell does not have its cell profile, the base
@@ -122,7 +126,7 @@ pub fn features(profile: &CellProfile, slot: SimDuration) -> CellFeatures {
         if total < 2 {
             continue;
         }
-        let max = *nexts.values().max().expect("non-empty") as f64;
+        let max = *nexts.values().max().expect("invariant: non-empty") as f64;
         consistency_num += max;
         consistency_den += total as f64;
     }
@@ -149,14 +153,14 @@ pub fn features(profile: &CellProfile, slot: SimDuration) -> CellFeatures {
     let (spike_fraction, smoothness, slot_autocorr) = if slots.is_empty() {
         (0.0, 0.0, 0.0)
     } else {
-        let first = *slots.keys().next().expect("non-empty");
-        let last = *slots.keys().last().expect("non-empty");
+        let first = *slots.keys().next().expect("invariant: non-empty");
+        let last = *slots.keys().last().expect("invariant: non-empty");
         let series: Vec<f64> = (first..=last)
             .map(|k| slots.get(&k).copied().unwrap_or(0.0))
             .collect();
         let total: f64 = series.iter().sum();
         let mut sorted = series.clone();
-        sorted.sort_by(|a, b| b.partial_cmp(a).expect("no NaN"));
+        sorted.sort_by(|a, b| b.total_cmp(a));
         let top_k = ((series.len() as f64 * 0.1).ceil() as usize).max(1);
         let spike: f64 = sorted.iter().take(top_k).sum();
         let spike_fraction = if total == 0.0 { 0.0 } else { spike / total };

@@ -1,3 +1,9 @@
+// Panic discipline: unwraps/expects are banned in library code. The
+// audited exceptions (`invariant:`/`precondition:` messages, enforced
+// by the arm-check `no-panic` lint) live in files that opt out with a
+// file-level `#![allow(clippy::expect_used)]`.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 //! # arm-profiles — profiles, profile servers, and next-cell prediction
 //!
 //! §3.4 of the paper: every cell and portable carries a *profile*; each

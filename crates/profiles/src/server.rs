@@ -178,9 +178,8 @@ impl ProfileServer {
             cell: None,
             level: crate::prediction::PredictionLevel::Default,
         };
-        let cp = match self.cells.get(&cur) {
-            Some(cp) => cp,
-            None => return fallback,
+        let Some(cp) = self.cells.get(&cur) else {
+            return fallback;
         };
         let neighbor_profiles: Vec<&CellProfile> = cp
             .neighbors

@@ -1,3 +1,7 @@
+// Audited: every expect in this file is an `invariant:`/`precondition:`
+// panic (see the arm-check `no-panic` lint).
+#![allow(clippy::expect_used)]
+
 //! Zones and cross-zone profile hand-over (§3.4.1/§3.4.3).
 //!
 //! "The universe is divided into distinct geographical regions called
@@ -62,7 +66,7 @@ impl ZonedProfiles {
         *self
             .zone_of
             .get(&cell)
-            .expect("cell registered with a zone")
+            .expect("precondition: cell registered with a zone")
     }
 
     /// Number of zones.
@@ -156,13 +160,11 @@ impl ZonedProfiles {
             Some(z) => *z,
             None => return fallback,
         };
-        let cell_server = match self.servers.get(&cur_zone) {
-            Some(s) => s,
-            None => return fallback,
+        let Some(cell_server) = self.servers.get(&cur_zone) else {
+            return fallback;
         };
-        let cp = match cell_server.cell(cur) {
-            Some(cp) => cp,
-            None => return fallback,
+        let Some(cp) = cell_server.cell(cur) else {
+            return fallback;
         };
         let neighbor_profiles: Vec<&CellProfile> =
             cp.neighbors.iter().filter_map(|n| self.cell(*n)).collect();

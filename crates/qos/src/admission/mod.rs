@@ -1,3 +1,7 @@
+// Audited: every expect in this file is an `invariant:`/`precondition:`
+// panic (see the arm-check `no-panic` lint).
+#![allow(clippy::expect_used)]
+
 //! The round-trip admission test of Table 2.
 //!
 //! Admission control "converts end-to-end QoS requirements into per-hop
@@ -105,6 +109,7 @@ pub enum TestKind {
 
 /// A failed admission.
 #[derive(Clone, Copy, Debug, PartialEq)]
+#[must_use]
 pub struct Rejection {
     /// Which test failed.
     pub test: TestKind,
@@ -124,6 +129,7 @@ impl std::fmt::Display for Rejection {
 
 /// A successful admission.
 #[derive(Clone, Debug, PartialEq)]
+#[must_use]
 pub struct AdmissionOutcome {
     /// Rate granted on the reverse pass (kbps):
     /// `b_min + b_stamp` for static portables, `b_min` for mobile.
@@ -148,10 +154,13 @@ pub struct AdmissionOutcome {
 /// On rejection nothing is reserved.
 pub fn admit(net: &mut Network, req: AdmissionRequest) -> Result<AdmissionOutcome, Rejection> {
     let (route, qos) = {
-        let c = net.get(req.conn).expect("connection must be installed");
+        let c = net
+            .get(req.conn)
+            .expect("precondition: connection must be installed");
         (c.route.clone(), c.qos)
     };
-    qos.validate().expect("caller validates the QoS request");
+    qos.validate()
+        .expect("precondition: caller validates the QoS request");
     let n = route.links.len();
     if n == 0 {
         // Degenerate single-node route: nothing to reserve.
@@ -301,16 +310,16 @@ pub fn admit(net: &mut Network, req: AdmissionRequest) -> Result<AdmissionOutcom
         let mut grant = b_granted;
         for lid in &route.links {
             let ls = net.link(*lid);
-            let own = ls.alloc(req.conn).map(|a| a.b_alloc).unwrap_or(0.0);
+            let own = ls.alloc(req.conn).map_or(0.0, |a| a.b_alloc);
             let room = (ls.capacity() - ls.b_resv() - ls.sum_b_alloc() + own).max(b_min);
             grant = grant.min(room);
         }
         net.set_conn_rate(req.conn, grant.max(b_min))
-            .expect("grant was clamped to fit");
+            .expect("invariant: grant was clamped to fit");
     }
 
     Ok(AdmissionOutcome {
-        b_granted: net.get(req.conn).map(|c| c.b_current).unwrap_or(b_granted),
+        b_granted: net.get(req.conn).map_or(b_granted, |c| c.b_current),
         b_stamp,
         d_min,
         hop_delay_budgets: budgets,

@@ -109,7 +109,7 @@ fn bandwidth_rejection_names_the_bottleneck_link() {
         c0,
         QosRequest::fixed(1550.0).with_delay(10.0).with_jitter(50.0),
     );
-    admit(&mut net, req(filler)).expect("filler fits");
+    let _ = admit(&mut net, req(filler)).expect("filler fits");
     let id = install(
         &mut net,
         c0,
@@ -222,7 +222,7 @@ fn handoff_consumes_its_own_claim() {
         ));
         id
     };
-    admit(&mut net, req(filler)).unwrap();
+    let _ = admit(&mut net, req(filler)).unwrap();
     let id = install(
         &mut net,
         c0,

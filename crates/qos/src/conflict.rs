@@ -1,3 +1,7 @@
+// Audited: every expect in this file is an `invariant:`/`precondition:`
+// panic (see the arm-check `no-panic` lint).
+#![allow(clippy::expect_used)]
+
 //! Resource-conflict resolution (§5.2).
 //!
 //! Conflicts arise in two situations: (a) excess resources appear and
@@ -34,8 +38,7 @@ pub fn resolve_network(net: &mut Network) -> usize {
         .into_iter()
         .filter(|(id, old)| {
             net.get(*id)
-                .map(|c| (c.b_current - old).abs() > 1e-9)
-                .unwrap_or(false)
+                .is_some_and(|c| (c.b_current - old).abs() > 1e-9)
         })
         .count()
 }
@@ -57,26 +60,25 @@ pub fn resolve_network_with_policy(
         .collect();
     for id in &mobile {
         let (floor, cur) = {
-            let c = net.get(*id).expect("live connection");
+            let c = net.get(*id).expect("invariant: live connection");
             (c.qos.b_min, c.b_current)
         };
         if cur > floor + 1e-9 {
             net.set_conn_rate(*id, floor)
-                .expect("decreasing to floor always fits");
+                .expect("invariant: decreasing to floor always fits");
         }
     }
     // Solve maxmin over static connections only.
     let mut problem = MaxminProblem::from_network(net);
     problem
         .conns
-        .retain(|id, _| net.get(*id).map(|c| is_static(c.portable)).unwrap_or(false));
+        .retain(|id, _| net.get(*id).is_some_and(|c| is_static(c.portable)));
     let alloc = problem.solve();
     let changed = alloc
         .iter()
         .filter(|(id, x)| {
             net.get(**id)
-                .map(|c| (c.qos.b_min + **x - c.b_current).abs() > 1e-9)
-                .unwrap_or(false)
+                .is_some_and(|c| (c.qos.b_min + **x - c.b_current).abs() > 1e-9)
         })
         .count();
     apply_allocation(net, &alloc);
@@ -103,12 +105,12 @@ pub fn resolve_network_incremental(
         .collect();
     for id in &mobile {
         let (floor, cur) = {
-            let c = net.get(*id).expect("live connection");
+            let c = net.get(*id).expect("invariant: live connection");
             (c.qos.b_min, c.b_current)
         };
         if cur > floor + 1e-9 {
             net.set_conn_rate(*id, floor)
-                .expect("decreasing to floor always fits");
+                .expect("invariant: decreasing to floor always fits");
         }
     }
     // Sync the engine to the static connections' demand side and every
@@ -119,8 +121,7 @@ pub fn resolve_network_incremental(
         .iter()
         .filter(|(id, x)| {
             net.get(**id)
-                .map(|c| (c.qos.b_min + **x - c.b_current).abs() > 1e-9)
-                .unwrap_or(false)
+                .is_some_and(|c| (c.qos.b_min + **x - c.b_current).abs() > 1e-9)
         })
         .count();
     apply_allocation(net, alloc);

@@ -1,3 +1,9 @@
+// Panic discipline: unwraps/expects are banned in library code. The
+// audited exceptions (`invariant:`/`precondition:` messages, enforced
+// by the arm-check `no-panic` lint) live in files that opt out with a
+// file-level `#![allow(clippy::expect_used)]`.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 //! # arm-qos — admission control, maxmin adaptation, conflict resolution
 //!
 //! The algorithmic core of §5 of the paper:

@@ -1,3 +1,7 @@
+// Audited: every expect in this file is an `invariant:`/`precondition:`
+// panic (see the arm-check `no-panic` lint).
+#![allow(clippy::expect_used)]
+
 //! Centralized water-filling reference solver.
 //!
 //! Computes the exact maxmin-fair allocation of excess bandwidth by
@@ -108,9 +112,8 @@ impl MaxminProblem {
     /// (§5.2): the link minimising the excess bandwidth available to the
     /// connection along its path, while the connection is unsatisfied?
     pub fn is_connection_bottleneck(&self, alloc: &Allocation, conn: ConnId, link: LinkId) -> bool {
-        let d = match self.conns.get(&conn) {
-            Some(d) => d,
-            None => return false,
+        let Some(d) = self.conns.get(&conn) else {
+            return false;
         };
         if !d.links.contains(&link) {
             return false;
@@ -302,7 +305,7 @@ pub fn solve_component(
         // Headroom and active-connection count per component link.
         let mut headroom: Vec<(LinkId, f64, usize)> = Vec::with_capacity(comp_links.len());
         for lid in &comp_links {
-            let members = index.get(lid).map(Vec::as_slice).unwrap_or(&[]);
+            let members = index.get(lid).map_or(&[][..], Vec::as_slice);
             let mut used = 0.0;
             let mut n_active = 0usize;
             for c in members {
@@ -327,7 +330,7 @@ pub fn solve_component(
             .fold(f64::INFINITY, f64::min);
         let inc = link_limit.min(demand_limit).max(0.0);
         for c in &active {
-            *alloc.get_mut(c).expect("active conn in alloc") += inc;
+            *alloc.get_mut(c).expect("invariant: active conn in alloc") += inc;
         }
         // Freeze: demand met, or on a saturated link.
         let saturated: Vec<LinkId> = headroom
@@ -384,13 +387,13 @@ pub fn apply_allocation(net: &mut Network, alloc: &Allocation) {
     // Decreases first. `total_cmp` keeps the sort well-defined even if a
     // ledger rate were ever NaN — order is all that matters here.
     changes.sort_by(|a, b| {
-        let da = a.1 - net.get(a.0).map(|c| c.b_current).unwrap_or(0.0);
-        let db = b.1 - net.get(b.0).map(|c| c.b_current).unwrap_or(0.0);
+        let da = a.1 - net.get(a.0).map_or(0.0, |c| c.b_current);
+        let db = b.1 - net.get(b.0).map_or(0.0, |c| c.b_current);
         da.total_cmp(&db)
     });
     for (id, target) in changes {
         net.set_conn_rate(id, target)
-            .expect("maxmin allocation is feasible");
+            .expect("invariant: maxmin allocation is feasible");
     }
 }
 

@@ -1,3 +1,7 @@
+// Audited: every expect in this file is an `invariant:`/`precondition:`
+// panic (see the arm-check `no-panic` lint).
+#![allow(clippy::expect_used)]
+
 //! The event-driven distributed rate-allocation protocol (§5.3.1).
 //!
 //! Adapted from Charny/Clark/Jain's explicit-rate congestion-control
@@ -342,7 +346,7 @@ impl DistributedMaxmin {
     /// Capped exponential backoff before retransmitting a phase: a
     /// generous round-trip estimate, doubled per attempt up to 2⁵×.
     fn retransmit_backoff(&self, conn: ConnId, attempt: u32) -> SimDuration {
-        let hops = self.conns.get(&conn).map(|c| c.links.len()).unwrap_or(1) as u64;
+        let hops = self.conns.get(&conn).map_or(1, |c| c.links.len()) as u64;
         let base = self.hop_latency * (2 * hops + 4);
         base.saturating_mul(1u64 << attempt.min(5))
     }
@@ -405,7 +409,7 @@ impl DistributedMaxmin {
 
     /// The rate `link` currently quotes to `conn`.
     pub fn link_mu_for(&self, link: LinkId, conn: ConnId) -> f64 {
-        self.links.get(&link).map(|l| l.mu_for(conn)).unwrap_or(0.0)
+        self.links.get(&link).map_or(0.0, |l| l.mu_for(conn))
     }
 
     /// Current `M(l)` of a link.
@@ -452,8 +456,7 @@ impl DistributedMaxmin {
             let valid = self
                 .conns
                 .get(&conn)
-                .map(|c| c.links.contains(&origin))
-                .unwrap_or(false);
+                .is_some_and(|c| c.links.contains(&origin));
             if !valid {
                 continue;
             }
@@ -478,15 +481,21 @@ impl DistributedMaxmin {
     /// Send the two ADVERTISE packets of the active session's phase.
     fn launch_phase(&mut self, ctx: &mut Ctx<'_, Ev>) {
         let (origin, conn, gid, phase, attempt) = {
-            let s = self.active.as_ref().expect("launch with active session");
+            let s = self
+                .active
+                .as_ref()
+                .expect("invariant: launch with active session");
             (s.origin, s.conn, s.gid, s.phase, s.attempt)
         };
-        let cctl = self.conns.get(&conn).expect("validated at activation");
+        let cctl = self
+            .conns
+            .get(&conn)
+            .expect("invariant: validated at activation");
         let pos = cctl
             .links
             .iter()
             .position(|l| *l == origin)
-            .expect("validated at activation");
+            .expect("invariant: validated at activation");
         let n = cctl.links.len();
         // The initiator stamps its own quote for the connection, capped
         // by the connection's residual demand (the paper's artificial
@@ -529,11 +538,7 @@ impl DistributedMaxmin {
     fn process_advertise(&mut self, mut pkt: Packet, ctx: &mut Ctx<'_, Ev>) {
         self.stats.advertise_hops += 1;
         // Stale packets of finished/cancelled processes are dropped.
-        let live = self
-            .active
-            .as_ref()
-            .map(|s| s.gid == pkt.gid)
-            .unwrap_or(false);
+        let live = self.active.as_ref().is_some_and(|s| s.gid == pkt.gid);
         if !live {
             self.maybe_activate(ctx);
             return;
@@ -552,7 +557,10 @@ impl DistributedMaxmin {
             }
         };
         {
-            let ctl = self.links.get_mut(&lid).expect("link registered");
+            let ctl = self
+                .links
+                .get_mut(&lid)
+                .expect("invariant: link registered");
             let mu = ctl.mu_for(pkt.conn);
             // `M(l)` maintenance: add j if μ_l ≤ b_stamp (this link binds
             // the connection), remove j if μ_l > b_stamp (it is clamped
@@ -669,7 +677,7 @@ impl DistributedMaxmin {
         // simultaneously acts on the UPDATE first — trivially satisfied).
         let changed = (rate - old_rate).abs() > TOL;
         for l in &links {
-            let ctl = self.links.get_mut(l).expect("link registered");
+            let ctl = self.links.get_mut(l).expect("invariant: link registered");
             ctl.recorded.insert(conn, rate);
         }
         if changed {
@@ -683,7 +691,10 @@ impl DistributedMaxmin {
         }
         // Restore the route before anything re-inspects this connection.
         let demand = {
-            let c = self.conns.get_mut(&conn).expect("not removed above");
+            let c = self
+                .conns
+                .get_mut(&conn)
+                .expect("invariant: not removed above");
             c.links = links;
             c.demand
         };
@@ -704,9 +715,8 @@ impl DistributedMaxmin {
     /// change — the bottlenecked set that could take more (the paper's
     /// `M(l)` upgrade targets) and the over-consumers that must shrink.
     fn wake_inconsistent(&mut self, lid: LinkId, exclude: Option<ConnId>, ctx: &mut Ctx<'_, Ev>) {
-        let ctl = match self.links.get(&lid) {
-            Some(c) => c,
-            None => return,
+        let Some(ctl) = self.links.get(&lid) else {
+            return;
         };
         let candidates: Vec<ConnId> = match self.variant {
             Variant::Flooding => ctl.conns.iter().copied().collect(),
@@ -715,7 +725,7 @@ impl DistributedMaxmin {
                 .iter()
                 .filter(|c| {
                     let r = ctl.recorded.get(c).copied().unwrap_or(0.0);
-                    let demand = self.conns.get(c).map(|cc| cc.demand).unwrap_or(0.0);
+                    let demand = self.conns.get(c).map_or(0.0, |cc| cc.demand);
                     let mu = ctl.mu_for(**c);
                     (r < mu - TOL && r < demand - TOL) || r > mu + TOL
                 })
@@ -739,9 +749,8 @@ impl DistributedMaxmin {
         links: &[LinkId],
         ctx: &mut Ctx<'_, Ev>,
     ) {
-        let pos = match links.iter().position(|l| *l == origin) {
-            Some(p) => p,
-            None => return,
+        let Some(pos) = links.iter().position(|l| *l == origin) else {
+            return;
         };
         let gid = self.next_gid;
         self.next_gid += 1;
@@ -848,7 +857,7 @@ impl Model for DistributedMaxmin {
                     .as_ref()
                     .is_some_and(|s| s.gid == gid && s.phase == phase && s.attempt == attempt);
                 if stalled {
-                    let s = self.active.as_mut().expect("checked above");
+                    let s = self.active.as_mut().expect("invariant: checked above");
                     s.attempt += 1;
                     s.up_returned = None;
                     s.down_returned = None;

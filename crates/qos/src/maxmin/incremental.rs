@@ -1,3 +1,7 @@
+// Audited: every expect in this file is an `invariant:`/`precondition:`
+// panic (see the arm-check `no-panic` lint).
+#![allow(clippy::expect_used)]
+
 //! Incremental maxmin re-solve with churn-aware caching.
 //!
 //! Every admission, departure, handoff, and link event used to rebuild
@@ -173,7 +177,13 @@ impl IncrementalMaxmin {
     /// Unhook `id` from the index and bottleneck sets and dirty its
     /// links, leaving `conns`/`alloc` entries to the caller.
     fn detach(&mut self, id: ConnId) {
-        let links = std::mem::take(&mut self.conns.get_mut(&id).expect("registered conn").links);
+        let links = std::mem::take(
+            &mut self
+                .conns
+                .get_mut(&id)
+                .expect("invariant: registered conn")
+                .links,
+        );
         for l in &links {
             self.dirty.insert(*l);
             if let Some(members) = self.index.get_mut(l) {
@@ -242,7 +252,7 @@ impl IncrementalMaxmin {
             while let Some(l) = frontier.pop() {
                 // Stale bottleneck attributions die with the region.
                 self.bottleneck.remove(&l);
-                let members = self.index.get(&l).map(Vec::as_slice).unwrap_or(&[]);
+                let members = self.index.get(&l).map_or(&[][..], Vec::as_slice);
                 for c in members {
                     if comp.insert(*c) {
                         for l2 in &self.conns[c].links {

@@ -1,3 +1,7 @@
+// Audited: every expect in this file is an `invariant:`/`precondition:`
+// panic (see the arm-check `no-panic` lint).
+#![allow(clippy::expect_used)]
+
 //! The fluid Generalized Processor Sharing reference.
 //!
 //! GPS serves every backlogged flow simultaneously at a rate proportional
@@ -38,7 +42,7 @@ pub fn finish_times(packets: &[Packet], weights: &[f64], capacity: f64) -> Vec<D
     let mut queues: Vec<std::collections::VecDeque<(usize, f64)>> = vec![Default::default(); flows];
     let mut out: Vec<Option<f64>> = vec![None; packets.len()];
 
-    let mut now = order.first().map(|i| packets[*i].arrival).unwrap_or(0.0);
+    let mut now = order.first().map_or(0.0, |i| packets[*i].arrival);
     let mut next_arrival = 0usize; // index into `order`
 
     loop {
@@ -70,7 +74,10 @@ pub fn finish_times(packets: &[Packet], weights: &[f64], capacity: f64) -> Vec<D
                 continue;
             }
             let rate = capacity * weights[f] / active_weight;
-            let head_remaining = queues[f].front().expect("backlogged flow has a head").1;
+            let head_remaining = queues[f]
+                .front()
+                .expect("invariant: backlogged flow has a head")
+                .1;
             let dt = head_remaining / rate;
             if dt < dt_deplete {
                 dt_deplete = dt;
@@ -117,7 +124,7 @@ pub fn finish_times(packets: &[Packet], weights: &[f64], capacity: f64) -> Vec<D
         .enumerate()
         .map(|(i, p)| Departure {
             packet: *p,
-            departure: out[i].expect("every packet finishes"),
+            departure: out[i].expect("invariant: every packet finishes"),
         })
         .collect()
 }

@@ -1,3 +1,7 @@
+// Audited: every expect in this file is an `invariant:`/`precondition:`
+// panic (see the arm-check `no-panic` lint).
+#![allow(clippy::expect_used)]
+
 //! Packetized WFQ (PGPS).
 //!
 //! WFQ transmits packets, one at a time at the full link rate, in
@@ -81,7 +85,7 @@ pub fn simulate(packets: &[Packet], weights: &[f64], capacity: f64) -> Vec<Depar
         .enumerate()
         .map(|(i, p)| Departure {
             packet: *p,
-            departure: departures[i].expect("all served"),
+            departure: departures[i].expect("invariant: all served"),
         })
         .collect()
 }
@@ -152,7 +156,7 @@ mod tests {
             let max = d
                 .iter()
                 .filter(|x| x.packet.flow == f)
-                .map(|x| x.delay())
+                .map(super::super::Departure::delay)
                 .fold(0.0, f64::max);
             assert!(
                 max <= bound,

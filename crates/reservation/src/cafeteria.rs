@@ -1,3 +1,7 @@
+// Audited: every expect in this file is an `invariant:`/`precondition:`
+// panic (see the arm-check `no-panic` lint).
+#![allow(clippy::expect_used)]
+
 //! The cafeteria predictor (§6.2.2).
 //!
 //! "The algorithm for prediction of the number of handoffs
@@ -84,7 +88,7 @@ impl CafeteriaPredictor {
     pub fn predict(&self) -> f64 {
         match self.window.len() {
             0 => 0.0,
-            1 | 2 => self.window.back().expect("non-empty").max(0.0),
+            1 | 2 => self.window.back().expect("invariant: non-empty").max(0.0),
             _ => predict_next(self.window[0], self.window[1], self.window[2], self.t),
         }
     }

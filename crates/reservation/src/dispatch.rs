@@ -1,3 +1,7 @@
+// Audited: every expect in this file is an `invariant:`/`precondition:`
+// panic (see the arm-check `no-panic` lint).
+#![allow(clippy::expect_used)]
+
 //! The §6.4 summary dispatcher.
 //!
 //! Given a mobile portable's three-level prediction and the class of its
@@ -47,7 +51,9 @@ pub fn decide(
     // Rule 1: the portable's own profile always wins.
     if prediction.level == PredictionLevel::PortableProfile {
         return ReservationDecision::PerConnection(
-            prediction.cell.expect("level-1 prediction has a cell"),
+            prediction
+                .cell
+                .expect("invariant: level-1 prediction has a cell"),
         );
     }
     match current_class {
@@ -55,20 +61,26 @@ pub fn decide(
             match prediction.level {
                 // Rule 2(office).1: neighbouring office occupancy.
                 PredictionLevel::OccupantOffice => ReservationDecision::PerConnection(
-                    prediction.cell.expect("occupant prediction has a cell"),
+                    prediction
+                        .cell
+                        .expect("invariant: occupant prediction has a cell"),
                 ),
                 // Rule 2(office).2: the portable belongs here.
                 _ if is_occupant_of_current => ReservationDecision::NoReservation,
                 // Rule 2(office).3: aggregate history.
                 PredictionLevel::CellAggregate => ReservationDecision::PerConnection(
-                    prediction.cell.expect("aggregate prediction has a cell"),
+                    prediction
+                        .cell
+                        .expect("invariant: aggregate prediction has a cell"),
                 ),
                 _ => ReservationDecision::DefaultAlgorithm,
             }
         }
         CellClass::Corridor => match prediction.level {
             PredictionLevel::OccupantOffice | PredictionLevel::CellAggregate => {
-                ReservationDecision::PerConnection(prediction.cell.expect("prediction has a cell"))
+                ReservationDecision::PerConnection(
+                    prediction.cell.expect("invariant: prediction has a cell"),
+                )
             }
             _ => ReservationDecision::DefaultAlgorithm,
         },

@@ -197,9 +197,8 @@ impl MeetingRoomPolicy {
     /// Bandwidth (kbps) the room should hold in advance for attendees
     /// still expected at `now` — rule (a).
     pub fn room_demand(&mut self, now: SimTime) -> f64 {
-        let m = match self.sync(now) {
-            Some(m) => m,
-            None => return 0.0,
+        let Some(m) = self.sync(now) else {
+            return 0.0;
         };
         let window_start = m.t_start.saturating_sub(self.timers.delta_s);
         let release_at = m.t_start + self.timers.release_start;
@@ -214,9 +213,8 @@ impl MeetingRoomPolicy {
     /// departing attendees at `now` — rule (b). The caller splits this
     /// across neighbours using the cell profile's transition row.
     pub fn neighbor_demand(&mut self, now: SimTime) -> f64 {
-        let m = match self.sync(now) {
-            Some(m) => m,
-            None => return 0.0,
+        let Some(m) = self.sync(now) else {
+            return 0.0;
         };
         let window_start = m.t_end.saturating_sub(self.timers.delta_a);
         let release_at = m.t_end + self.timers.release_end;

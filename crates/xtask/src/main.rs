@@ -1,0 +1,149 @@
+//! Workspace task runner. `cargo xtask check` is the pre-PR gate: it
+//! runs the domain lints over every library crate and the bounded
+//! model-checking sweep of the maxmin/admission protocols, and fails
+//! with actionable diagnostics (lint findings as `file:line` lines,
+//! model failures as minimal counterexample traces).
+//!
+//! Subcommands:
+//!
+//! * `check` — lints + model sweep (what CI runs);
+//! * `lint`  — domain lints only (fast; run while editing);
+//! * `model` — the model-checking sweep only.
+//!
+//! `--trace-dir <dir>` writes any counterexample as JSON into `dir`
+//! (CI uploads these as artifacts on failure).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use arm_check::lints::run_lints;
+use arm_check::model::sweep::sweep_all;
+use arm_check::model::Counterexample;
+
+/// The sweep's wall-clock budget: the proof must stay cheap enough to
+/// gate every PR.
+const SWEEP_BUDGET_MS: u64 = 60_000;
+
+fn workspace_root() -> PathBuf {
+    // xtask always runs from within the workspace via the cargo alias;
+    // the manifest dir is crates/xtask.
+    let manifest = env!("CARGO_MANIFEST_DIR");
+    Path::new(manifest)
+        .ancestors()
+        .nth(2)
+        .expect("invariant: crates/xtask sits two levels below the root")
+        .to_path_buf()
+}
+
+fn run_lint_pass(root: &Path) -> Result<(), ExitCode> {
+    println!("==> domain lints ({})", root.display());
+    match run_lints(root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("    clean");
+            Ok(())
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            eprintln!("error: {} domain lint finding(s)", findings.len());
+            Err(ExitCode::FAILURE)
+        }
+        Err(e) => {
+            eprintln!("error: lint walk failed: {e}");
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn write_trace(trace_dir: Option<&Path>, cx: &Counterexample) {
+    let Some(dir) = trace_dir else { return };
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create trace dir {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!(
+        "counterexample-{}.json",
+        cx.model.replace(['/', ' '], "_")
+    ));
+    match serde_json::to_string(cx) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                println!("    trace written to {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize counterexample: {e}"),
+    }
+}
+
+fn run_model_pass(trace_dir: Option<&Path>) -> Result<(), ExitCode> {
+    println!("==> bounded model check (all topologies ≤3 links, ≤4 connections)");
+    match sweep_all() {
+        Ok(report) => {
+            println!(
+                "    verified: {} runs, {} states, {} transitions in {} ms",
+                report.runs, report.states, report.transitions, report.elapsed_ms
+            );
+            if report.elapsed_ms > SWEEP_BUDGET_MS {
+                eprintln!(
+                    "error: sweep exceeded its {SWEEP_BUDGET_MS} ms budget ({} ms)",
+                    report.elapsed_ms
+                );
+                return Err(ExitCode::FAILURE);
+            }
+            Ok(())
+        }
+        Err(cx) => {
+            eprintln!("{cx}");
+            write_trace(trace_dir, &cx);
+            eprintln!("error: model checking found a protocol violation");
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let cmd = args.next().unwrap_or_else(|| "check".to_string());
+    let mut trace_dir = None;
+    let mut rest = Vec::new();
+    while let Some(a) = args.next() {
+        if a == "--trace-dir" {
+            match args.next() {
+                Some(d) => trace_dir = Some(PathBuf::from(d)),
+                None => {
+                    eprintln!("error: --trace-dir needs a path");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            rest.push(a);
+        }
+    }
+    if !rest.is_empty() {
+        eprintln!("error: unexpected arguments: {rest:?}");
+        return ExitCode::FAILURE;
+    }
+
+    let root = workspace_root();
+    let td = trace_dir.as_deref();
+    let result = match cmd.as_str() {
+        "check" => run_lint_pass(&root).and_then(|()| run_model_pass(td)),
+        "lint" => run_lint_pass(&root),
+        "model" => run_model_pass(td),
+        "help" | "--help" | "-h" => {
+            println!("usage: cargo xtask [check|lint|model] [--trace-dir DIR]");
+            Ok(())
+        }
+        other => {
+            eprintln!("error: unknown subcommand `{other}` (try `cargo xtask help`)");
+            Err(ExitCode::FAILURE)
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(code) => code,
+    }
+}

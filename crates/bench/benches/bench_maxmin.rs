@@ -4,6 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use arm_net::ids::{ConnId, LinkId};
+use arm_obs::Obs;
 use arm_qos::maxmin::advertised::{advertised_rate, advertised_rate_for};
 use arm_qos::maxmin::centralized::{ConnDemand, MaxminProblem};
 use arm_qos::maxmin::distributed::{DistributedMaxmin, Ev, Variant};
@@ -99,6 +100,79 @@ fn bench_distributed(c: &mut Criterion) {
     group.finish();
 }
 
+/// One full distributed solve of `p`, optionally with a recording
+/// observer attached to the protocol.
+fn run_refined(p: &MaxminProblem, obs: bool) -> u64 {
+    let mut proto = DistributedMaxmin::new(Variant::Refined, SimDuration::from_millis(1));
+    // 4096 retained events: big enough to keep the convergence tail,
+    // small enough that the ring stays cache-resident and never pays
+    // `VecDeque` growth reallocations mid-solve.
+    let shared = obs.then(|| Obs::recording(4096).into_shared());
+    if let Some(s) = &shared {
+        proto.attach_obs(s.clone());
+    }
+    for (l, cap) in &p.link_excess {
+        proto.add_link(*l, *cap);
+    }
+    for (cid, d) in &p.conns {
+        proto.add_conn(*cid, d.links.clone(), d.demand);
+    }
+    let mut engine = Engine::new(proto).with_event_budget(10_000_000);
+    for (l, cap) in &p.link_excess {
+        engine.schedule_at(
+            SimTime::ZERO,
+            Ev::ChangeExcess {
+                link: *l,
+                excess: *cap,
+            },
+        );
+    }
+    engine.run();
+    engine.model().stats().advertise_hops
+}
+
+/// The observability acceptance bar: a recording observer attached to
+/// the distributed protocol must cost at most 5% of the solve. Criterion
+/// measures both configurations; quick mode (`ARM_BENCH_QUICK=1`, the CI
+/// smoke path) additionally asserts the ratio on a min-of-N paired
+/// measurement — min is robust against scheduler noise.
+fn bench_distributed_obs(c: &mut Criterion) {
+    let mut rng = SimRng::new(1);
+    let p = parking_lot(8, 4, &mut rng);
+    let mut group = c.benchmark_group("maxmin_distributed_obs");
+    group.sample_size(20);
+    for (label, obs) in [("plain", false), ("recording", true)] {
+        group.bench_with_input(BenchmarkId::new(label, "8l_33c"), &p, |b, p| {
+            b.iter(|| run_refined(p, obs));
+        });
+    }
+    group.finish();
+
+    if std::env::var("ARM_BENCH_QUICK").is_ok() {
+        let min_time = |obs: bool| {
+            (0..15)
+                .map(|_| {
+                    let t0 = std::time::Instant::now();
+                    std::hint::black_box(run_refined(&p, obs));
+                    t0.elapsed()
+                })
+                .min()
+                .expect("non-empty sample")
+        };
+        // Warm both paths once before timing.
+        run_refined(&p, false);
+        run_refined(&p, true);
+        let plain = min_time(false);
+        let with_obs = min_time(true);
+        let ratio = with_obs.as_secs_f64() / plain.as_secs_f64().max(1e-12);
+        println!("obs overhead: plain {plain:?}, recording {with_obs:?} ({ratio:.3}x)");
+        assert!(
+            ratio <= 1.05,
+            "recording observer costs more than 5%: {ratio:.3}x"
+        );
+    }
+}
+
 fn bench_advertised(c: &mut Criterion) {
     let mut group = c.benchmark_group("advertised_rate");
     for n in [4usize, 16, 64] {
@@ -118,6 +192,7 @@ criterion_group!(
     benches,
     bench_centralized,
     bench_distributed,
+    bench_distributed_obs,
     bench_advertised
 );
 criterion_main!(benches);

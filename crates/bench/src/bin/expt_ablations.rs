@@ -8,11 +8,13 @@
 //!    three-level algorithm to next-cell accuracy on the §7.1 workweek.
 //! 3. **Multicast pre-setup**: the wired bandwidth the §4 branches hold.
 
+use arm_bench::report;
 use arm_core::{ManagerConfig, ResourceManager, Strategy};
 use arm_mobility::environment::Figure4;
 use arm_mobility::models::office_case::{self, OfficeCaseParams};
 use arm_net::flowspec::QosRequest;
 use arm_net::ids::PortableId;
+use arm_obs::RunReport;
 use arm_profiles::prediction::PredictionLevel;
 use arm_qos::adaptation::DynPoolPolicy;
 use arm_sim::{SimDuration, SimRng, SimTime};
@@ -25,7 +27,7 @@ fn qos(kbps: f64) -> QosRequest {
 }
 
 /// Part 1: sudden static movers vs the pool band.
-fn bdyn_sweep() {
+fn bdyn_sweep(rep: &mut RunReport) {
     println!("--- ablation 1: B_dyn pool fraction (paper band: 5%–20%) ---");
     println!(
         "{:>9} {:>14} {:>14} {:>10}",
@@ -87,6 +89,10 @@ fn bdyn_sweep() {
             rescued,
             blocked
         );
+        rep.notes.push(format!(
+            "B_dyn {:.0}%: {rescued}/6 sudden movers rescued, {blocked} admissions blocked",
+            fraction * 100.0
+        ));
     }
     println!("(no pool: sudden movers drop; a bigger pool rescues more but");
     println!("blocks more admissions in the neighbour — the 5–20% band is the");
@@ -94,7 +100,7 @@ fn bdyn_sweep() {
 }
 
 /// Part 2: prediction-level contributions on the §7.1 trace.
-fn prediction_levels() {
+fn prediction_levels(rep: &mut RunReport) {
     println!("--- ablation 2: three-level prediction, level contributions ---");
     let f4 = Figure4::build();
     let params = OfficeCaseParams::default();
@@ -150,10 +156,15 @@ fn prediction_levels() {
         full.1,
         100.0 * full.1 as f64 / full.0.max(1) as f64
     );
+    rep.notes.push(format!(
+        "three-level prediction: {:.1}% accuracy over {} moves",
+        100.0 * full.1 as f64 / full.0.max(1) as f64,
+        full.0
+    ));
 }
 
 /// Part 3: what the §4 multicast branches hold on the backbone.
-fn multicast_cost() {
+fn multicast_cost(rep: &mut RunReport) {
     println!("--- ablation 3: §4 multicast pre-setup cost ---");
     for enabled in [true, false] {
         let f4 = Figure4::build();
@@ -186,6 +197,11 @@ fn multicast_cost() {
             wired_resv,
             mgr.multicast.active_branches
         );
+        rep.notes.push(format!(
+            "multicast {}: {wired_resv:.0} kbps wired reservations, {} branches",
+            if enabled { "on" } else { "off" },
+            mgr.multicast.active_branches
+        ));
     }
     println!("(the branches buy transient-free handoffs at the price of wired");
     println!("bandwidth the paper considers cheap relative to the air interface)");
@@ -193,7 +209,9 @@ fn multicast_cost() {
 
 fn main() {
     println!("== design-choice ablations ==\n");
-    bdyn_sweep();
-    prediction_levels();
-    multicast_cost();
+    let mut rep = RunReport::new("expt_ablations", "design-choice-ablations");
+    bdyn_sweep(&mut rep);
+    prediction_levels(&mut rep);
+    multicast_cost(&mut rep);
+    report::emit_or_warn(&rep);
 }

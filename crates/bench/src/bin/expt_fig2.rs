@@ -2,11 +2,12 @@
 //! shapes that justify the meeting-room / cafeteria / default split, and
 //! the §6.4 learning process recovering each class from its activity.
 
-use arm_bench::ascii_series;
+use arm_bench::{ascii_series, report};
 use arm_mobility::models::{cafeteria, meeting, random_walk};
+use arm_obs::RunReport;
 use arm_profiles::classify::{classify, ClassifierConfig};
 use arm_profiles::{CellClass, CellProfile, LoungeKind};
-use arm_sim::{SimDuration, SimRng};
+use arm_sim::{SimDuration, SimRng, SimTime};
 
 fn main() {
     let seed: u64 = std::env::args()
@@ -25,7 +26,7 @@ fn main() {
         "{}",
         ascii_series(
             "meeting room — arrivals per 5 min (spikes at start/conclusion)",
-            m_series.values(),
+            &m_series.values_padded(SimTime::ZERO + mparams.span),
             1.0
         )
     );
@@ -39,7 +40,7 @@ fn main() {
         "{}",
         ascii_series(
             "cafeteria — arrivals per 5 min (slow time-varying)",
-            c_series.values(),
+            &c_series.values_padded(SimTime::ZERO + cparams.span),
             1.0
         )
     );
@@ -59,7 +60,7 @@ fn main() {
         "{}",
         ascii_series(
             "default lounge — arrivals per 5 min (random time-varying)",
-            d_series.values(),
+            &d_series.values_padded(SimTime::ZERO + dparams.span),
             1.0
         )
     );
@@ -120,4 +121,17 @@ fn main() {
             "partially (tune thresholds)"
         }
     );
+
+    let mut rep = RunReport::new("expt_fig2", "figure-2-lounge-activity");
+    rep.seed = Some(seed);
+    rep.notes.push(format!(
+        "meeting-room arrivals total {:.0}, cafeteria {:.0}, default lounge {:.0}",
+        m_series.total(),
+        c_series.total(),
+        d_series.total()
+    ));
+    rep.notes.push(format!(
+        "classifier recovered meeting-room={ok_m} cafeteria={ok_c}"
+    ));
+    report::emit_or_warn(&rep);
 }

@@ -7,8 +7,10 @@
 //! expectations, 61%/96%; the paper's 59%/94% reflect its particular
 //! draw.)
 
-use arm_bench::{ascii_series, table_row};
+use arm_bench::{ascii_series, report, table_row};
 use arm_core::driver::meeting;
+use arm_obs::RunReport;
+use arm_sim::SimTime;
 
 fn main() {
     let seed: u64 = std::env::args()
@@ -31,8 +33,14 @@ fn main() {
             &w
         )
     );
+    let mut rep = RunReport::new("expt_fig5", "figure-5-meeting-room");
+    rep.seed = Some(seed);
     for n in [35usize, 55] {
         for r in meeting::compare(n, seed) {
+            rep.notes.push(format!(
+                "N={n} {}: drops={} walkby={} blocks={}",
+                r.strategy, r.drops, r.walkby_drops, r.blocks
+            ));
             println!(
                 "{}",
                 table_row(
@@ -62,11 +70,15 @@ fn main() {
             "laboratory of 55"
         };
         println!("--- {label} ---");
+        // Pad every series to the full simulated span so the time axes
+        // of the four sub-figures line up (quiet tail minutes record no
+        // samples and would otherwise truncate the plot).
+        let span_end = SimTime::ZERO + r.span;
         println!(
             "{}",
             ascii_series(
                 &format!("Fig 5.a/c — handoffs into the classroom per minute ({label})"),
-                r.into_room.values(),
+                &r.into_room.values_padded(span_end),
                 1.0
             )
         );
@@ -74,7 +86,7 @@ fn main() {
             "{}",
             ascii_series(
                 "Fig 5.b/d — total handoff activity outside (corridor) per minute",
-                r.corridor_activity.values(),
+                &r.corridor_activity.values_padded(span_end),
                 1.0
             )
         );
@@ -82,9 +94,10 @@ fn main() {
             "{}",
             ascii_series(
                 "handoffs out of the classroom per minute",
-                r.out_of_room.values(),
+                &r.out_of_room.values_padded(span_end),
                 1.0
             )
         );
     }
+    report::emit_or_warn(&rep);
 }

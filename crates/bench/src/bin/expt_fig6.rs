@@ -8,7 +8,9 @@
 //! `T` lie on top of each other at large `P_d`; small `T` is (weakly)
 //! better, with little difference below T ≈ 0.05.
 
+use arm_bench::report;
 use arm_core::driver::fig6::{self, AdmissionPolicy, Fig6Params};
+use arm_obs::RunReport;
 
 fn main() {
     let span: f64 = std::env::args()
@@ -22,13 +24,21 @@ fn main() {
     println!("== Figure 6: default probabilistic reservation ==");
     println!("(two cells, B_c = 40, paper's two connection types; span {span} units)\n");
 
+    let mut rep = RunReport::new("expt_fig6", "figure-6-probabilistic-reservation");
     let p_qos_grid = [
         0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.4, 0.8,
     ];
     for window_t in [0.01, 0.02, 0.05, 0.1, 0.25] {
         println!("--- window T = {window_t} ---");
         println!("{:>8}  {:>9}  {:>9}", "P_QOS", "P_b", "P_d");
-        for (p_qos, pt) in fig6::curve(window_t, &p_qos_grid, params) {
+        let curve = fig6::curve(window_t, &p_qos_grid, params);
+        if let (Some((_, lo)), Some((_, hi))) = (curve.first(), curve.last()) {
+            rep.notes.push(format!(
+                "T={window_t}: P_b from {:.5} down to {:.5} as P_d grows {:.5}→{:.5}",
+                lo.p_b, hi.p_b, lo.p_d, hi.p_d
+            ));
+        }
+        for (p_qos, pt) in curve {
             println!("{:>8.4}  {:>9.5}  {:>9.5}", p_qos, pt.p_b, pt.p_d);
         }
         println!();
@@ -53,4 +63,5 @@ fn main() {
     println!("\npaper reference: P_b decreases with P_d; curves coincide at large");
     println!("P_d; small T preferable with little difference below T ≈ 0.05; the");
     println!("probabilistic algorithm outperforms static reservation throughout.");
+    report::emit_or_warn(&rep);
 }

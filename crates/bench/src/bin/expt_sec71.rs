@@ -13,8 +13,9 @@
 //! occupants is valid (regulars are highly predictable), (b) brute-force
 //! reservation in all neighbours is extremely wasteful.
 
-use arm_bench::table_row;
+use arm_bench::{report, table_row};
 use arm_core::driver::office;
+use arm_obs::RunReport;
 
 fn main() {
     let seed: u64 = std::env::args()
@@ -101,4 +102,27 @@ fn main() {
     );
     println!("\nPaper's conclusions: occupants are deterministically predictable;");
     println!("brute force multiplies the reservation bill by the neighbour count.");
+
+    let mut rep = RunReport::new("expt_sec71", "section-7.1-office-case");
+    rep.seed = Some(seed);
+    for (name, cd, a, b, fg) in &r.fanout {
+        rep.notes.push(format!(
+            "fan-out {name}: C→D {cd} → A {a} / B {b} / F+G {fg}"
+        ));
+    }
+    for (name, acc) in &r.accuracy {
+        rep.notes.push(format!(
+            "accuracy {name}: {:.1}% over {} predicted moves",
+            acc.hit_rate() * 100.0,
+            acc.predicted
+        ));
+    }
+    for (scheme, cost) in &r.reserved_cell_seconds {
+        rep.notes.push(format!(
+            "reservation cost {scheme}: {:.0} user-cell-seconds ({:.2}x useful minimum)",
+            cost,
+            cost / r.useful_cell_seconds.max(1.0)
+        ));
+    }
+    report::emit_or_warn(&rep);
 }

@@ -5,8 +5,10 @@
 //! run, showing the ⟨i, ∀j ∈ η(c): {j, p_j}⟩ rows and the portable's
 //! ⟨prev, cur, next-predicted⟩ triplets.
 
+use arm_bench::report;
 use arm_mobility::environment::Figure4;
 use arm_mobility::models::office_case::{self, OfficeCaseParams};
+use arm_obs::RunReport;
 use arm_profiles::{CellClass, LoungeKind, ProfileServer};
 use arm_sim::SimRng;
 
@@ -96,4 +98,13 @@ fn main() {
             break;
         }
     }
+
+    let mut rep = RunReport::new("expt_table1", "table-1-profile-contents");
+    rep.seed = Some(7);
+    rep.notes.push(format!(
+        "corridor D neighbours: {} cells; faculty history: {} handoffs",
+        d.neighbors.len(),
+        fac.history_len()
+    ));
+    report::emit_or_warn(&rep);
 }

@@ -6,10 +6,12 @@
 //! (wireless 1.6 Mbps with 1% error → backbone 10 Mbps ×2 → wireless),
 //! under both WFQ and RCSP.
 
+use arm_bench::report;
 use arm_net::flowspec::{QosRequest, TrafficSpec};
 use arm_net::routing::shortest_path;
 use arm_net::topology::Topology;
 use arm_net::{Connection, Network};
+use arm_obs::RunReport;
 use arm_qos::admission::{admit, AdmissionRequest, Discipline, MobilityClass, RequestKind};
 use arm_sim::SimTime;
 
@@ -37,6 +39,7 @@ fn main() {
         qos.loss_bound, qos.traffic.sigma, qos.traffic.rho, qos.traffic.l_max
     );
 
+    let mut rep = RunReport::new("expt_table2", "table-2-admission-test");
     for (discipline, name) in [(Discipline::Wfq, "WFQ"), (Discipline::Rcsp, "RCSP")] {
         for (mobility, mname) in [
             (MobilityClass::Static, "static portable"),
@@ -97,6 +100,10 @@ fn main() {
             );
             let bufs: Vec<String> = out.hop_buffers.iter().map(|b| format!("{b:.2}")).collect();
             println!("    buffers reserved per hop = [{}] kb\n", bufs.join(", "));
+            rep.notes.push(format!(
+                "{name}/{mname}: b_granted={:.1} kbps, d_min={:.4} s, loss={:.4}",
+                out.b_granted, out.d_min, out.loss
+            ));
             // Clean up for the next variant.
             net.finish(id, arm_net::ConnectionState::Terminated);
         }
@@ -108,4 +115,5 @@ fn main() {
     println!("  delay:      (σ + n·L_max)/b_min + Σ L_max/C_i > d");
     println!("  loss:       1 − Π(1 − p_e,i) > p_e");
     println!("  buffer:     discipline-specific demand exceeds the node pool");
+    report::emit_or_warn(&rep);
 }

@@ -5,7 +5,9 @@
 //! cargo run --release -p arm-bench --bin run_scenario -- my.json
 //! ```
 
+use arm_bench::report as run_report;
 use arm_core::scenario::{self, Scenario};
+use arm_obs::RunReport;
 
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| {
@@ -35,4 +37,12 @@ fn main() {
         "{}",
         serde_json::to_string_pretty(&report).expect("serialises")
     );
+
+    let mut rep = RunReport::new("run_scenario", &report.name);
+    rep.seed = Some(sc.seed);
+    rep.notes.push(format!(
+        "strategy {}: requests={} blocked={} p_b={:.5} p_d={:.5} moves={}",
+        report.strategy, report.requests, report.blocked, report.p_b, report.p_d, report.moves
+    ));
+    run_report::emit_or_warn(&rep);
 }

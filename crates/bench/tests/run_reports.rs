@@ -1,0 +1,61 @@
+//! Every experiment binary emits a machine-readable run report; this
+//! test runs the cheap ones end-to-end and consumes their reports back
+//! through [`RunReport::from_json`] — the acceptance round-trip for the
+//! report side channel.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use arm_obs::RunReport;
+
+fn run_bin(exe: &str, dir: &Path) -> RunReport {
+    let out = Command::new(exe)
+        .env("ARM_RUN_REPORT_DIR", dir)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {exe}: {e}"));
+    assert!(
+        out.status.success(),
+        "{exe} exited {:?}\nstderr: {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let name = Path::new(exe)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .expect("binary has a name");
+    let path = dir.join(format!("{name}.json"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{exe} wrote no report at {}: {e}", path.display()));
+    let rep =
+        RunReport::from_json(&text).unwrap_or_else(|e| panic!("{exe} report does not parse: {e}"));
+    assert_eq!(rep.bin, name, "report names its own binary");
+    rep
+}
+
+fn temp_report_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("arm-run-reports-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp report dir");
+    dir
+}
+
+#[test]
+fn table_bins_emit_consumable_reports() {
+    let dir = temp_report_dir("tables");
+    let t1 = run_bin(env!("CARGO_BIN_EXE_expt_table1"), &dir);
+    assert!(!t1.notes.is_empty(), "table1 report carries notes");
+    let t2 = run_bin(env!("CARGO_BIN_EXE_expt_table2"), &dir);
+    // Table 2 walks 2 disciplines × 2 mobility classes.
+    assert_eq!(t2.notes.len(), 4);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fig2_report_round_trips() {
+    let dir = temp_report_dir("fig2");
+    let rep = run_bin(env!("CARGO_BIN_EXE_expt_fig2"), &dir);
+    assert_eq!(rep.scenario, "figure-2-lounge-activity");
+    assert_eq!(rep.seed, Some(3));
+    assert!(rep.notes.iter().any(|n| n.contains("meeting-room")));
+    let _ = std::fs::remove_dir_all(&dir);
+}

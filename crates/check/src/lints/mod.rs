@@ -31,10 +31,21 @@ use serde::Serialize;
 
 use crate::lexer::{self, SpannedTok, Tok};
 
-/// The library crates the lint pass covers. `sim` and `bench` are
-/// deliberately out: the simulator kernel owns its own panic discipline
-/// (audited in PR 1) and the bench harness is not shipped logic.
-pub const TARGET_CRATES: &[&str] = &["qos", "net", "core", "reservation", "profiles", "mobility"];
+/// The library crates the lint pass covers. Only `bench` is out: the
+/// bench harness is not shipped logic. The simulator kernel (`sim`) was
+/// originally excluded as owning its own panic discipline (audited in
+/// PR 1); that audit is now encoded in `invariant:`/`precondition:`
+/// expect prefixes and inline allows, so the lint pass pins it too.
+pub const TARGET_CRATES: &[&str] = &[
+    "qos",
+    "net",
+    "core",
+    "reservation",
+    "profiles",
+    "mobility",
+    "sim",
+    "obs",
+];
 
 /// Files whose *pub* mutation surface must satisfy the full
 /// `marks-dirty` call-graph rule (every public fn that reaches a raw

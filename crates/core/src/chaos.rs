@@ -24,6 +24,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use arm_mobility::WorkloadMix;
 use arm_net::ids::{ConnId, LinkId, PortableId, ZoneId};
+use arm_obs::{ChaosSummary, Obs};
 use arm_qos::maxmin::centralized::{ConnDemand, MaxminProblem};
 use arm_qos::maxmin::distributed::{DistributedMaxmin, Ev, Variant};
 use arm_sim::{
@@ -55,6 +56,24 @@ pub struct ChaosOutcome {
     pub handoff_signalling_failures: u64,
     /// Profile updates lost to server outages.
     pub lost_profile_updates: u64,
+}
+
+impl ChaosOutcome {
+    /// This outcome as the run-report chaos section. `schedules` is the
+    /// number of independent fault schedules the caller replayed to
+    /// produce it (1 for a single [`run_with_faults`] call).
+    pub fn summary(&self, schedules: u64) -> ChaosSummary {
+        ChaosSummary {
+            schedules,
+            faults_applied: self.faults_applied as u64,
+            invariant_checks: self.invariant_checks,
+            lossy_maxmin_checks: self.lossy_maxmin_checks,
+            link_failures: self.link_failures,
+            stale_profile_fallbacks: self.stale_profile_fallbacks,
+            handoff_signalling_failures: self.handoff_signalling_failures,
+            lost_profile_updates: self.lost_profile_updates,
+        }
+    }
 }
 
 /// Maps the schedule's opaque indices onto the scenario's entities.
@@ -95,7 +114,23 @@ pub fn run_with_faults(
     sc: &Scenario,
     faults: &FaultSchedule,
 ) -> Result<ChaosOutcome, ControlError> {
+    run_with_faults_obs(sc, faults, Obs::off()).map(|(out, _)| out)
+}
+
+/// [`run_with_faults`] with a trace observer installed in the resource
+/// manager for the duration of the run. Returns the observer alongside
+/// the outcome so callers can read its event counts, phase timers, and
+/// sink snapshot. Passing [`Obs::off()`] is exactly [`run_with_faults`]:
+/// observation is strictly passive, so the outcome is bit-identical
+/// whatever observer is installed (asserted by
+/// `tests/obs_differential.rs`).
+pub fn run_with_faults_obs(
+    sc: &Scenario,
+    faults: &FaultSchedule,
+    obs: Obs,
+) -> Result<(ChaosOutcome, Obs), ControlError> {
     let (mut mgr, trace) = build_manager(sc)?;
+    mgr.set_obs(obs);
     let checking = !faults.is_empty();
     let map = FaultMap {
         links: mgr.net.topology().link_count() as u32,
@@ -223,7 +258,7 @@ pub fn run_with_faults(
         }
     }
 
-    Ok(ChaosOutcome {
+    let outcome = ChaosOutcome {
         report: ScenarioReport {
             name: sc.name.clone(),
             strategy: sc.strategy.label(),
@@ -243,7 +278,8 @@ pub fn run_with_faults(
         stale_profile_fallbacks: mgr.stale_profile_fallbacks,
         handoff_signalling_failures: mgr.handoff_signalling_failures,
         lost_profile_updates: mgr.lost_profile_updates,
-    })
+    };
+    Ok((outcome, mgr.take_obs()))
 }
 
 /// The degradation invariants, checked after every event of a faulted

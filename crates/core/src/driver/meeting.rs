@@ -51,6 +51,11 @@ pub struct MeetingRunResult {
     pub out_of_room: TimeSeries,
     /// Total handoff arrivals at the corridor cell per minute.
     pub corridor_activity: TimeSeries,
+    /// The simulated span the series cover. Quiet tail minutes record no
+    /// samples, so plot the series with
+    /// [`values_padded`](TimeSeries::values_padded)`(SimTime::ZERO + span)`
+    /// to keep the time axis comparable across runs.
+    pub span: SimDuration,
 }
 
 /// Run one strategy against one class size.
@@ -179,6 +184,7 @@ pub fn run_trace(
         into_room,
         out_of_room,
         corridor_activity,
+        span: params.span,
     }
 }
 

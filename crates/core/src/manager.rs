@@ -33,12 +33,13 @@ use arm_net::ids::{CellId, ConnId, LinkId, NodeId, PortableId, ZoneId};
 use arm_net::link::ResvClaim;
 use arm_net::routing::{shortest_path, shortest_path_avoiding};
 use arm_net::{Connection, ConnectionState, Network, Route};
+use arm_obs::{ClaimSource, Obs, ObsEvent, Phase};
 use arm_profiles::{CellClass, LoungeKind, ZonedProfiles};
 use arm_qos::adaptation::{DynPoolPolicy, StaticMobileTest};
 use arm_qos::admission::{admit, AdmissionRequest, Discipline, MobilityClass, RequestKind};
 use arm_reservation::cafeteria::CafeteriaPredictor;
 use arm_reservation::default_cell::OneStepMemory;
-use arm_reservation::dispatch::{decide, ReservationDecision};
+use arm_reservation::dispatch::{decide_traced, ReservationDecision};
 use arm_reservation::meeting::{BookingCalendar, MeetingRoomPolicy};
 use arm_sim::{SimDuration, SimTime};
 
@@ -161,6 +162,10 @@ pub struct ResourceManager {
     pub lost_profile_updates: u64,
     /// Handoffs processed without signalling (claims unusable).
     pub handoff_signalling_failures: u64,
+    /// Passive observer. [`Obs::off`] by default — observation never
+    /// influences any decision, so the disabled path is bit-identical
+    /// (asserted by `tests/obs_differential.rs`).
+    pub obs: Obs,
 }
 
 impl ResourceManager {
@@ -215,7 +220,19 @@ impl ResourceManager {
             stale_profile_fallbacks: 0,
             lost_profile_updates: 0,
             handoff_signalling_failures: 0,
+            obs: Obs::off(),
         }
+    }
+
+    /// Install an observer (replacing the default [`Obs::off`]).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// Detach the observer (e.g. to build a run report), leaving
+    /// observation off.
+    pub fn take_obs(&mut self) -> Obs {
+        std::mem::take(&mut self.obs)
     }
 
     /// Replace a meeting room's booking calendar.
@@ -279,6 +296,7 @@ impl ResourceManager {
             .get(&p)
             .expect("precondition: portable must appear before requesting connections")
             .cell;
+        let admit_tok = self.obs.phase_start(now);
         self.metrics.requests.incr();
         let id = self.net.next_conn_id();
         let route = self.route_for(cell);
@@ -307,6 +325,14 @@ impl ResourceManager {
                 self.mark_conn_dirty(id);
                 self.sync_multicast_for(p, now);
                 self.after_event(now);
+                self.obs.emit_with(|| ObsEvent::AdmitDecision {
+                    t: now,
+                    conn: id,
+                    cell,
+                    admitted: true,
+                    cause: "admitted".to_string(),
+                });
+                self.obs.phase_end(Phase::Admission, admit_tok, now);
                 Ok(id)
             }
             Err(rej) => {
@@ -315,6 +341,14 @@ impl ResourceManager {
                     .get_mut(id)
                     .expect("invariant: installed above")
                     .state = ConnectionState::Blocked;
+                self.obs.emit_with(|| ObsEvent::AdmitDecision {
+                    t: now,
+                    conn: id,
+                    cell,
+                    admitted: false,
+                    cause: "blocked".to_string(),
+                });
+                self.obs.phase_end(Phase::Admission, admit_tok, now);
                 Err(rej)
             }
         }
@@ -345,6 +379,7 @@ impl ResourceManager {
             (c.portable, c.route.clone(), c.qos, c.state.is_live())
         };
         assert!(live, "renegotiate on a finished connection");
+        let admit_tok = self.obs.phase_start(now);
         self.metrics.requests.incr();
         // Release the current reservation, swap in the new bounds.
         self.net.release_route(id, &route);
@@ -369,6 +404,15 @@ impl ResourceManager {
                 self.mark_conn_dirty(id);
                 self.sync_multicast_for(p, now);
                 self.after_event(now);
+                let cell = self.net.get(id).map_or(CellId(0), |c| c.cell);
+                self.obs.emit_with(|| ObsEvent::AdmitDecision {
+                    t: now,
+                    conn: id,
+                    cell,
+                    admitted: true,
+                    cause: "renegotiate-accepted".to_string(),
+                });
+                self.obs.phase_end(Phase::Admission, admit_tok, now);
                 Ok(())
             }
             Err(rej) => {
@@ -392,6 +436,15 @@ impl ResourceManager {
                 .expect("invariant: restoring the previous reservation always fits");
                 self.mark_conn_dirty(id);
                 self.after_event(now);
+                let cell = self.net.get(id).map_or(CellId(0), |c| c.cell);
+                self.obs.emit_with(|| ObsEvent::AdmitDecision {
+                    t: now,
+                    conn: id,
+                    cell,
+                    admitted: false,
+                    cause: "renegotiate-rejected".to_string(),
+                });
+                self.obs.phase_end(Phase::Admission, admit_tok, now);
                 Err(rej)
             }
         }
@@ -419,6 +472,7 @@ impl ResourceManager {
             .expect("precondition: portable must appear before moving");
         let from = state.cell;
         assert_ne!(from, to, "no-op move");
+        let handoff_tok = self.obs.phase_start(now);
         // Profile bookkeeping. An outage of either involved zone's
         // profile server loses the update (profiles go stale).
         if self.zone_down(from) || self.zone_down(to) {
@@ -442,6 +496,7 @@ impl ResourceManager {
         }
         // Move the connections.
         let conns: Vec<ConnId> = self.net.connections_of_portable(p).map(|c| c.id).collect();
+        let total_conns = conns.len();
         // A lost handoff signal means the advance reservations cannot
         // be consumed for this move: plain admission or drop.
         let claims_usable = !self.doomed_handoffs.remove(&p);
@@ -472,6 +527,20 @@ impl ResourceManager {
         );
         self.sync_multicast_for(p, now);
         self.after_event(now);
+        self.obs.emit_with(|| ObsEvent::HandoffOutcome {
+            t: now,
+            portable: p,
+            from,
+            to,
+            carried: (total_conns - dropped.len()) as u64,
+            dropped: dropped.len() as u64,
+            cause: if claims_usable {
+                "completed".to_string()
+            } else {
+                "signalling-failed".to_string()
+            },
+        });
+        self.obs.phase_end(Phase::Handoff, handoff_tok, now);
         dropped
     }
 
@@ -506,6 +575,11 @@ impl ResourceManager {
 
     /// Slot boundary: feed the aggregate predictors and refresh claims.
     pub fn slot_tick(&mut self, now: SimTime) {
+        self.obs.emit_with(|| ObsEvent::ReservationSlotRolled {
+            t: now,
+            slot: now.ticks() / self.cfg.slot.ticks(),
+        });
+        let pred_tok = self.obs.phase_start(now);
         let outflow = std::mem::take(&mut self.slot_outflow);
         for (cell, pred) in self.cafeteria_pred.iter_mut() {
             pred.observe(f64::from(outflow.get(cell).copied().unwrap_or(0)));
@@ -513,6 +587,7 @@ impl ResourceManager {
         for (cell, pred) in self.default_pred.iter_mut() {
             pred.observe(f64::from(outflow.get(cell).copied().unwrap_or(0)));
         }
+        self.obs.phase_end(Phase::PredictionUpdate, pred_tok, now);
         // Static transitions since the last slot retire their multicast
         // branches here (slot granularity is ample: T_th is minutes).
         let ps: Vec<PortableId> = self.portables.keys().copied().collect();
@@ -614,6 +689,10 @@ impl ResourceManager {
             return Vec::new();
         }
         self.link_failures += 1;
+        self.obs.emit_with(|| ObsEvent::FaultInjected {
+            t: now,
+            fault: format!("link-failed:{link}"),
+        });
         self.mark_link_dirty(link);
         let ids = self.net.conn_ids_on_link(link);
         let mut dropped = Vec::new();
@@ -653,6 +732,10 @@ impl ResourceManager {
         if !self.down_links.remove(&link) {
             return;
         }
+        self.obs.emit_with(|| ObsEvent::FaultInjected {
+            t: now,
+            fault: format!("link-restored:{link}"),
+        });
         self.net.link_mut(link).release_claim(ResvClaim::Outage);
         self.mark_link_dirty(link);
         let ids: Vec<ConnId> = self.net.live_connections().map(|c| c.id).collect();
@@ -670,6 +753,10 @@ impl ResourceManager {
     /// Idempotent.
     pub fn profile_server_down(&mut self, zone: ZoneId, now: SimTime) {
         if self.down_zones.insert(zone) {
+            self.obs.emit_with(|| ObsEvent::FaultInjected {
+                t: now,
+                fault: format!("profile-server-down:{zone}"),
+            });
             self.after_event(now);
         }
     }
@@ -678,6 +765,10 @@ impl ResourceManager {
     /// when it went down — updates during the outage are lost).
     pub fn profile_server_up(&mut self, zone: ZoneId, now: SimTime) {
         if self.down_zones.remove(&zone) {
+            self.obs.emit_with(|| ObsEvent::FaultInjected {
+                t: now,
+                fault: format!("profile-server-up:{zone}"),
+            });
             self.after_event(now);
         }
     }
@@ -813,10 +904,10 @@ impl ResourceManager {
         }
         // Draw down consumable aggregate claims, most specific first.
         let wl = self.net.topology().wireless_link(to);
-        for key in [
-            ResvClaim::Cell(to),
-            ResvClaim::Cell(from),
-            ResvClaim::DynPool,
+        for (key, source) in [
+            (ResvClaim::Cell(to), ClaimSource::CellTo),
+            (ResvClaim::Cell(from), ClaimSource::CellFrom),
+            (ResvClaim::DynPool, ClaimSource::DynPool),
         ] {
             let available = self.net.link(wl).claim(key);
             if available <= 0.0 {
@@ -836,6 +927,13 @@ impl ResourceManager {
             .is_ok()
             {
                 self.metrics.claims_consumed.incr();
+                self.obs.emit_with(|| ObsEvent::ClaimConsumed {
+                    t: now,
+                    cell: to,
+                    conn: id,
+                    kbps: drawn,
+                    source,
+                });
                 let c = self.net.get_mut(id).expect("invariant: live connection");
                 c.handoffs += 1;
                 return true;
@@ -844,7 +942,6 @@ impl ResourceManager {
             let cur = self.net.link(wl).claim(key);
             self.net.link_mut(wl).set_claim(key, cur + drawn);
         }
-        let _ = now;
         self.net.finish(id, ConnectionState::Dropped);
         false
     }
@@ -899,6 +996,8 @@ impl ResourceManager {
         self.refresh_claims(now);
         if self.cfg.resolve_excess && self.adaptation_triggered() {
             self.adaptation_rounds += 1;
+            let round_tok = self.obs.phase_start(now);
+            let stats_before = self.maxmin.stats;
             let statics: std::collections::BTreeSet<PortableId> = self
                 .portables
                 .iter()
@@ -915,6 +1014,21 @@ impl ResourceManager {
             } else {
                 arm_qos::conflict::resolve_network_with_policy(&mut self.net, &is_static);
             }
+            let phase = if self.cfg.incremental {
+                Phase::MaxminIncremental
+            } else {
+                Phase::MaxminFull
+            };
+            self.obs.phase_end(phase, round_tok, now);
+            let incremental = self.cfg.incremental;
+            let stats_after = self.maxmin.stats;
+            self.obs.emit_with(|| ObsEvent::MaxminRound {
+                t: now,
+                incremental,
+                conns_resolved: stats_after.conns_resolved - stats_before.conns_resolved,
+                conns_reused: stats_after.conns_reused - stats_before.conns_reused,
+                cause: "eqn2-adaptation".to_string(),
+            });
             // Record the post-round excess as eqn 2's t⁻ state.
             let cells: Vec<CellId> = self.env.cells().map(|(id, _)| id).collect();
             for c in cells {
@@ -957,6 +1071,7 @@ impl ResourceManager {
 
     /// Recompute every advance claim from current state.
     fn refresh_claims(&mut self, now: SimTime) {
+        let refresh_tok = self.obs.phase_start(now);
         // Wipe all wireless-link claims the manager owns. The Channel
         // claim is the channel monitor's and the Outage claim the fault
         // path's — both model capacity that does not exist right now and
@@ -996,6 +1111,7 @@ impl ResourceManager {
                 }
             }
         }
+        self.obs.phase_end(Phase::ClaimRefresh, refresh_tok, now);
     }
 
     /// The paper's strategy: per-portable claims via the §6.4 dispatcher,
@@ -1035,7 +1151,7 @@ impl ResourceManager {
                 .cell(state.cell)
                 .is_some_and(|cp| cp.is_occupant(*p));
             let prediction = self.profiles.predict_at(*p, state.prev_cell, state.cell);
-            match decide(class, is_occupant, prediction) {
+            match decide_traced(class, is_occupant, prediction, now, *p, &mut self.obs) {
                 ReservationDecision::PerConnection(target) => {
                     if target != state.cell {
                         let wl = self.net.topology().wireless_link(target);

@@ -1,6 +1,7 @@
 //! Run metrics: the quantities the paper reports.
 
 use arm_net::ids::CellId;
+use arm_obs::MetricsSummary;
 use arm_sim::stats::{Counter, TimeSeries};
 use arm_sim::{SimDuration, SimTime};
 
@@ -67,6 +68,21 @@ impl Metrics {
     pub fn arrivals(&self, cell: CellId) -> Option<&TimeSeries> {
         self.arrivals.get(&cell)
     }
+
+    /// These metrics as the run-report summary section.
+    pub fn summary(&self) -> MetricsSummary {
+        MetricsSummary {
+            requests: self.requests.get(),
+            blocked: self.blocked.get(),
+            completed: self.completed.get(),
+            handoff_attempts: self.handoff_attempts.get(),
+            handoff_successes: self.handoff_successes.get(),
+            dropped: self.dropped.get(),
+            claims_consumed: self.claims_consumed.get(),
+            p_b: self.p_b(),
+            p_d: self.p_d(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -86,6 +102,28 @@ mod tests {
         let empty = Metrics::new(SimDuration::from_mins(1));
         assert_eq!(empty.p_b(), 0.0);
         assert_eq!(empty.p_d(), 0.0);
+    }
+
+    #[test]
+    fn summary_mirrors_counters() {
+        let mut m = Metrics::new(SimDuration::from_mins(1));
+        m.requests.add(10);
+        m.blocked.add(2);
+        m.completed.add(7);
+        m.handoff_attempts.add(50);
+        m.handoff_successes.add(45);
+        m.dropped.add(5);
+        m.claims_consumed.add(3);
+        let s = m.summary();
+        assert_eq!(s.requests, 10);
+        assert_eq!(s.blocked, 2);
+        assert_eq!(s.completed, 7);
+        assert_eq!(s.handoff_attempts, 50);
+        assert_eq!(s.handoff_successes, 45);
+        assert_eq!(s.dropped, 5);
+        assert_eq!(s.claims_consumed, 3);
+        assert!((s.p_b - m.p_b()).abs() < 1e-15);
+        assert!((s.p_d - m.p_d()).abs() < 1e-15);
     }
 
     #[test]

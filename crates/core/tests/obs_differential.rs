@@ -1,0 +1,106 @@
+//! The observability layer's zero-interference contract.
+//!
+//! Observation must be strictly passive: running the same scenario with
+//! `Obs::off()` (the default everywhere) and with a recording observer
+//! installed must produce **bit-identical** scenario reports. The
+//! recording run additionally has to actually observe something — a
+//! silent observer would trivially pass the differential check.
+
+use arm_core::chaos::{run_with_faults, run_with_faults_obs};
+use arm_core::scenario::{self, EnvSpec, MobilitySpec, Scenario, WorkloadSpec};
+use arm_core::{ManagerConfig, ResourceManager, Strategy};
+use arm_mobility::environment::Figure4;
+use arm_net::flowspec::QosRequest;
+use arm_net::ids::PortableId;
+use arm_obs::{EventKind, Obs};
+use arm_sim::{FaultSchedule, FaultScheduleParams, SimDuration, SimRng, SimTime};
+
+fn office_scenario(seed: u64) -> Scenario {
+    Scenario {
+        name: "obs-differential".into(),
+        environment: EnvSpec::Figure4,
+        mobility: MobilitySpec::OfficeCase,
+        workload: WorkloadSpec::Paper71,
+        strategy: Strategy::Paper,
+        cell_throughput_kbps: 1600.0,
+        backbone_kbps: 100_000.0,
+        wireless_error: 0.0,
+        t_th_secs: 300,
+        seed,
+    }
+}
+
+#[test]
+fn recording_observer_leaves_the_run_bit_identical() {
+    let sc = office_scenario(23);
+    let off = scenario::run(&sc).expect("valid scenario");
+    let (out, obs) = run_with_faults_obs(&sc, &FaultSchedule::empty(), Obs::recording(4096))
+        .expect("valid scenario");
+    assert_eq!(format!("{off:?}"), format!("{:?}", out.report));
+    // The observer saw the run: admissions, slot rolls, claim activity,
+    // and phase timers all fired. (Maxmin rounds need the eqn-2
+    // adaptation path, which scenarios leave off — covered below.)
+    assert!(out.report.requests > 0);
+    assert!(obs.total_events() > 0, "recording run observed nothing");
+    assert!(obs.count(EventKind::AdmitDecision) >= out.report.requests);
+    assert!(obs.count(EventKind::ReservationSlotRolled) > 0);
+    assert!(obs.count(EventKind::HandoffOutcome) > 0);
+    assert!(!obs.snapshot_events().is_empty());
+    assert!(obs.phase_summaries().iter().any(|p| p.spans > 0));
+}
+
+#[test]
+fn recording_observer_leaves_a_faulted_run_bit_identical() {
+    let sc = office_scenario(31);
+    let params = FaultScheduleParams {
+        span: SimDuration::from_mins(40 * 60),
+        links: 20,
+        zones: 1,
+        portables: 30,
+        ..FaultScheduleParams::default()
+    };
+    let sched = FaultSchedule::generate(&params, &SimRng::new(5));
+    let off = run_with_faults(&sc, &sched).expect("valid scenario");
+    let (on, obs) = run_with_faults_obs(&sc, &sched, Obs::recording(4096)).expect("valid scenario");
+    assert_eq!(format!("{:?}", off.report), format!("{:?}", on.report));
+    assert_eq!(off.faults_applied, on.faults_applied);
+    assert_eq!(off.invariant_checks, on.invariant_checks);
+    assert_eq!(off.link_failures, on.link_failures);
+    // Fault entry points were traced.
+    assert!(obs.count(EventKind::FaultInjected) > 0);
+}
+
+/// Scenarios leave the eqn-2 adaptation path off; drive it directly so
+/// the [`EventKind::MaxminRound`] emission point is exercised too.
+#[test]
+fn maxmin_rounds_are_traced_on_the_adaptation_path() {
+    let f4 = Figure4::build();
+    let net = f4.env.build_network(1600.0, 0.0, 100_000.0);
+    let cfg = ManagerConfig {
+        strategy: Strategy::None,
+        resolve_excess: true,
+        dyn_pool: None,
+        t_th: SimDuration::from_secs(0),
+        ..Default::default()
+    };
+    let mut mgr = ResourceManager::new(f4.env.clone(), net, cfg);
+    mgr.set_obs(Obs::recording(256));
+    let adaptive = QosRequest::bandwidth(200.0, 1600.0)
+        .with_delay(10.0)
+        .with_jitter(10.0)
+        .with_loss(1.0);
+    for i in 0..2u32 {
+        let p = PortableId(i);
+        mgr.portable_appears(p, f4.c, SimTime::ZERO);
+        mgr.request_connection(p, adaptive, SimTime::from_secs(1 + u64::from(i)))
+            .expect("admits");
+    }
+    // Fade and recovery both trigger the eqn-2 maxmin re-solve.
+    mgr.channel_change(f4.c, 0.4, SimTime::from_secs(10))
+        .expect("valid fraction");
+    mgr.channel_change(f4.c, 1.0, SimTime::from_secs(60))
+        .expect("valid fraction");
+    let obs = mgr.take_obs();
+    assert!(obs.count(EventKind::MaxminRound) > 0);
+    assert!(obs.count(EventKind::AdmitDecision) >= 2);
+}

@@ -60,6 +60,7 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use arm_net::ids::{ConnId, LinkId};
+use arm_obs::{ObsEvent, SharedObs};
 use arm_sim::engine::{Ctx, Model};
 use arm_sim::{SimDuration, SimRng};
 
@@ -246,6 +247,9 @@ pub struct DistributedMaxmin {
     /// Fault injection; `None` (the default) leaves every code path and
     /// event sequence bit-identical to the pristine protocol.
     faults: Option<ControlFaults>,
+    /// Passive observer; `None` (the default) costs one branch per
+    /// packet and never perturbs the protocol.
+    obs: Option<SharedObs>,
 }
 
 impl DistributedMaxmin {
@@ -265,7 +269,14 @@ impl DistributedMaxmin {
             next_gid: 0,
             stats: ProtocolStats::default(),
             faults: None,
+            obs: None,
         }
+    }
+
+    /// Attach a shared observer; ADVERTISE sends and UPDATE receives
+    /// are emitted as typed events from then on.
+    pub fn attach_obs(&mut self, obs: SharedObs) {
+        self.obs = Some(obs);
     }
 
     /// Install (or retune) seeded control-plane fault injection: each
@@ -529,6 +540,19 @@ impl DistributedMaxmin {
         };
         ctx.schedule_after(self.hop_latency, Ev::Deliver(up));
         ctx.schedule_after(self.hop_latency, Ev::Deliver(down));
+        if let Some(o) = &self.obs {
+            let t = ctx.now();
+            let mut o = o.borrow_mut();
+            // One event per ADVERTISE packet sent (upstream + downstream).
+            for _ in 0..2 {
+                o.emit_with(|| ObsEvent::AdvertiseSent {
+                    t,
+                    conn,
+                    link: origin,
+                    rate_kbps: stamped,
+                });
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -801,6 +825,15 @@ impl DistributedMaxmin {
             Some(c) => (c.links[pkt.pos], c.links.len()),
             None => return,
         };
+        if let Some(o) = &self.obs {
+            let t = ctx.now();
+            o.borrow_mut().emit_with(|| ObsEvent::UpdateRecv {
+                t,
+                conn: pkt.conn,
+                link: lid,
+                rate_kbps: pkt.stamped,
+            });
+        }
         // Recording is idempotent (complete_session already fixed it);
         // the packet exists for overhead accounting and latency realism.
         if let Some(ctl) = self.links.get_mut(&lid) {
@@ -829,6 +862,13 @@ impl Model for DistributedMaxmin {
                 match self.roll_fault(&pkt) {
                     Fate::Drop => {
                         self.stats.packets_lost += 1;
+                        if let Some(o) = &self.obs {
+                            let t = ctx.now();
+                            o.borrow_mut().emit_with(|| ObsEvent::FaultInjected {
+                                t,
+                                fault: "control-packet-lost".to_string(),
+                            });
+                        }
                         self.arm_recovery(&pkt, ctx);
                         return;
                     }

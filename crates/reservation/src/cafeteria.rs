@@ -166,6 +166,38 @@ mod tests {
     }
 
     #[test]
+    fn short_window_fallback_is_latest_observation() {
+        // Intended behavior with fewer than three samples, documented:
+        // the least-squares fit needs three points, so the predictor
+        // degrades gracefully rather than guessing a trend —
+        //   0 samples → 0.0 (no information: reserve nothing);
+        //   1 sample  → that sample (one-step memory);
+        //   2 samples → the *newest* sample, not the mean — a cafeteria
+        //     ramps at meal boundaries, so the latest slot is the best
+        //     cheap estimate and deliberately ignores the older one.
+        let p = CafeteriaPredictor::new();
+        assert_eq!(p.observations(), 0);
+        assert_eq!(p.predict(), 0.0);
+
+        let mut p = CafeteriaPredictor::new();
+        p.observe(5.0);
+        assert_eq!(p.observations(), 1);
+        assert_eq!(p.predict(), 5.0);
+
+        p.observe(9.0);
+        assert_eq!(p.observations(), 2);
+        // Newest wins; no averaging, no extrapolation of the 5→9 ramp.
+        assert_eq!(p.predict(), 9.0);
+
+        // Two samples in the other direction: still the newest, even
+        // though a trend fit would predict lower.
+        let mut q = CafeteriaPredictor::new();
+        q.observe(9.0);
+        q.observe(5.0);
+        assert_eq!(q.predict(), 5.0);
+    }
+
+    #[test]
     fn paper_printed_formula_is_not_least_squares() {
         // Documenting the erratum: on the linear series 3, 5, 7 at slots
         // 4..6, the printed intercept yields prediction 5 where least

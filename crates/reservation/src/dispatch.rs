@@ -20,9 +20,11 @@
 //!      an aggregate claim instead of per-portable claims;
 //! 3. nothing to go on ⇒ the default (probabilistic) algorithm.
 
-use arm_net::ids::CellId;
+use arm_net::ids::{CellId, PortableId};
+use arm_obs::{Obs, ObsEvent};
 use arm_profiles::prediction::{Prediction, PredictionLevel};
 use arm_profiles::CellClass;
+use arm_sim::time::SimTime;
 
 /// What the §6.4 dispatcher tells the resource manager to do for one
 /// mobile portable.
@@ -37,6 +39,18 @@ pub enum ReservationDecision {
     /// No usable information: fall back to the default probabilistic
     /// reservation algorithm.
     DefaultAlgorithm,
+}
+
+impl ReservationDecision {
+    /// Stable kebab-case label (used in trace events and reports).
+    pub fn label(self) -> &'static str {
+        match self {
+            ReservationDecision::PerConnection(_) => "per-connection",
+            ReservationDecision::NoReservation => "no-reservation",
+            ReservationDecision::ClassPolicy => "class-policy",
+            ReservationDecision::DefaultAlgorithm => "default-algorithm",
+        }
+    }
 }
 
 /// Run the dispatcher.
@@ -86,6 +100,29 @@ pub fn decide(
         },
         CellClass::Lounge(_) => ReservationDecision::ClassPolicy,
     }
+}
+
+/// [`decide`], with the outcome emitted as a
+/// [`ReservationDispatch`](ObsEvent::ReservationDispatch) trace event.
+///
+/// The decision is computed first and observed after, so an attached
+/// observer can never influence it; with `obs` off this is exactly
+/// [`decide`] plus one branch.
+pub fn decide_traced(
+    current_class: CellClass,
+    is_occupant_of_current: bool,
+    prediction: Prediction,
+    now: SimTime,
+    portable: PortableId,
+    obs: &mut Obs,
+) -> ReservationDecision {
+    let decision = decide(current_class, is_occupant_of_current, prediction);
+    obs.emit_with(|| ObsEvent::ReservationDispatch {
+        t: now,
+        portable,
+        decision: decision.label().to_string(),
+    });
+    decision
 }
 
 #[cfg(test)]
@@ -176,6 +213,47 @@ mod tests {
             pred(PredictionLevel::Default, None),
         );
         assert_eq!(d, ReservationDecision::DefaultAlgorithm);
+    }
+
+    #[test]
+    fn traced_wrapper_matches_decide_and_emits() {
+        let mut obs = arm_obs::Obs::recording(8);
+        let p = pred(PredictionLevel::PortableProfile, Some(9));
+        let d = decide_traced(
+            CellClass::Office,
+            false,
+            p,
+            SimTime::from_secs(4),
+            PortableId(3),
+            &mut obs,
+        );
+        assert_eq!(d, decide(CellClass::Office, false, p));
+        let events = obs.snapshot_events();
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            ObsEvent::ReservationDispatch {
+                t,
+                portable,
+                decision,
+            } => {
+                assert_eq!(*t, SimTime::from_secs(4));
+                assert_eq!(*portable, PortableId(3));
+                assert_eq!(decision, "per-connection");
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        // Off path: same decision, nothing recorded.
+        let mut off = arm_obs::Obs::off();
+        let d2 = decide_traced(
+            CellClass::Office,
+            false,
+            p,
+            SimTime::from_secs(4),
+            PortableId(3),
+            &mut off,
+        );
+        assert_eq!(d2, d);
+        assert_eq!(off.total_events(), 0);
     }
 
     #[test]

@@ -72,6 +72,10 @@ pub struct Engine<M: Model> {
     /// Hard cap on dispatched events, as a guard against accidental
     /// self-perpetuating event storms. Default: effectively unlimited.
     event_budget: u64,
+    /// Events dispatched over the engine's lifetime (all runs). Feeds
+    /// run reports; `arm_sim` sits below the observability crate, so
+    /// this is a plain counter rather than an `arm_obs` hook.
+    dispatched_total: u64,
 }
 
 impl<M: Model> Engine<M> {
@@ -81,6 +85,7 @@ impl<M: Model> Engine<M> {
             queue: EventQueue::new(),
             model,
             event_budget: u64::MAX,
+            dispatched_total: 0,
         }
     }
 
@@ -115,6 +120,11 @@ impl<M: Model> Engine<M> {
         self.queue.len()
     }
 
+    /// Events dispatched so far, across every run of this engine.
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched_total
+    }
+
     /// Seed the queue before (or between) runs.
     pub fn schedule_at(&mut self, at: SimTime, ev: M::Event) -> EventId {
         self.queue.schedule_at(at, ev)
@@ -143,6 +153,7 @@ impl<M: Model> Engine<M> {
                 .pop()
                 .expect("invariant: a successful peek means pop returns an event");
             dispatched += 1;
+            self.dispatched_total += 1;
             let mut stop = false;
             let mut ctx = Ctx {
                 queue: &mut self.queue,
@@ -190,6 +201,7 @@ mod tests {
         engine.schedule_at(SimTime::from_secs(1), ());
         let stop = engine.run();
         assert_eq!(stop, StopCondition::ModelStopped);
+        assert_eq!(engine.dispatched(), 4);
         assert_eq!(
             engine.model().fired,
             vec![

@@ -147,6 +147,8 @@ pub struct Histogram {
     count: u64,
     sum: f64,
     sum_sq: f64,
+    min: f64,
+    max: f64,
 }
 
 impl Histogram {
@@ -162,6 +164,8 @@ impl Histogram {
             count: 0,
             sum: 0.0,
             sum_sq: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
         }
     }
 
@@ -170,6 +174,8 @@ impl Histogram {
         self.count += 1;
         self.sum += x;
         self.sum_sq += x * x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
         if x < self.lo {
             self.underflow += 1;
         } else if x >= self.hi {
@@ -205,24 +211,56 @@ impl Histogram {
         var.max(0.0).sqrt()
     }
 
+    /// Smallest sample ever recorded (0 if empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample ever recorded (0 if empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
     /// Approximate quantile from bin boundaries (`q` in `[0, 1]`).
+    ///
+    /// Estimates are saturated to the true recorded `[min, max]`: `q=0`
+    /// reports the recorded minimum (not the histogram floor `lo`), and
+    /// mass in the overflow bin reports the recorded maximum rather than
+    /// the range ceiling `hi`.
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
         }
         let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        if target == 0 {
+            // q = 0: the smallest recorded sample, by definition.
+            return self.min;
+        }
         let mut seen = self.underflow;
         if seen >= target {
-            return self.lo;
+            // The target rank falls in the underflow bin: everything there
+            // is < lo, so `lo` is an upper bound — saturate to the true
+            // recorded range.
+            return self.lo.clamp(self.min, self.max);
         }
         let width = (self.hi - self.lo) / self.bins.len() as f64;
         for (i, b) in self.bins.iter().enumerate() {
             seen += b;
             if seen >= target {
-                return self.lo + width * (i as f64 + 1.0);
+                return (self.lo + width * (i as f64 + 1.0)).clamp(self.min, self.max);
             }
         }
-        self.hi
+        // The target rank falls in the overflow bin: the recorded maximum
+        // is the tightest bound we track, not the range ceiling `hi`.
+        self.max
     }
 
     /// The raw bin counts, with `(underflow, bins, overflow)` layout.
@@ -268,9 +306,27 @@ impl TimeSeries {
         self.add(at, 1.0);
     }
 
-    /// The slot values, padded with zeros up to `upto` if requested.
+    /// The slot values, ending at the last slot that received data.
+    ///
+    /// Trailing quiet slots are absent: a run that ends in silence yields
+    /// a shorter vector than the run's span. Use [`Self::values_padded`]
+    /// when series from different seeds must align by length.
     pub fn values(&self) -> &[f64] {
         &self.slots
+    }
+
+    /// The slot values, zero-padded so every slot up to `upto` is present.
+    ///
+    /// The result covers `ceil(upto / slot_width)` slots (never fewer than
+    /// the recorded ones), so per-seed series over the same span align by
+    /// length even when a seed's run ends in a quiet period.
+    pub fn values_padded(&self, upto: SimTime) -> Vec<f64> {
+        let want = upto.ticks().div_ceil(self.slot.ticks()) as usize;
+        let mut v = self.slots.clone();
+        if v.len() < want {
+            v.resize(want, 0.0);
+        }
+        v
     }
 
     /// `(slot_start_seconds, value)` pairs for printing.
@@ -292,7 +348,7 @@ impl TimeSeries {
         self.slots
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN in series"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
     }
 }
@@ -360,6 +416,119 @@ mod tests {
         let median = h.quantile(0.5);
         assert!((median - 50.0).abs() <= 1.0, "median={median}");
         assert!(h.quantile(1.0) >= 99.0);
+    }
+
+    #[test]
+    fn histogram_quantile_empty() {
+        let h = Histogram::new(0.0, 10.0, 10);
+        assert_eq!(h.quantile(0.0), 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.quantile(1.0), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    fn histogram_quantile_q0_is_recorded_min() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for x in [3.5, 40.0, 90.0] {
+            h.record(x);
+        }
+        // Before the fix q=0 reported the range floor `lo` (0.0); the
+        // smallest recorded sample is 3.5.
+        assert_eq!(h.quantile(0.0), 3.5);
+        assert_eq!(h.min(), 3.5);
+    }
+
+    #[test]
+    fn histogram_quantile_all_underflow() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(-5.0);
+        h.record(-3.0);
+        // All mass is below `lo`; estimates saturate to the true range.
+        assert_eq!(h.quantile(0.0), -5.0);
+        assert_eq!(h.quantile(1.0), -3.0);
+        assert_eq!(h.min(), -5.0);
+        assert_eq!(h.max(), -3.0);
+    }
+
+    #[test]
+    fn histogram_quantile_all_overflow() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(15.0);
+        h.record(20.0);
+        // Before the fix overflow mass reported the range ceiling `hi`
+        // (10.0) — below every recorded sample.
+        assert_eq!(h.quantile(0.5), 20.0);
+        assert_eq!(h.quantile(1.0), 20.0);
+        assert!(h.quantile(0.0) >= 15.0);
+        assert_eq!(h.max(), 20.0);
+    }
+
+    #[test]
+    fn histogram_quantile_q1_is_bounded_by_max() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.record(f64::from(i) + 0.5);
+        }
+        // q=1 must never exceed the largest recorded sample.
+        assert!(h.quantile(1.0) <= h.max());
+        assert_eq!(h.max(), 99.5);
+        assert_eq!(h.quantile(0.0), 0.5);
+    }
+
+    #[test]
+    fn time_weighted_mean_with_now_before_last_record() {
+        // Intended behavior: querying the mean at a `now` earlier than the
+        // last record saturates the tail contribution to zero (the last
+        // value has held for "no time yet") rather than rewinding the
+        // integral or panicking. The mean is then the step integral up to
+        // the last record divided by `now - start`.
+        let mut tw = TimeWeighted::new();
+        tw.record(SimTime::from_secs(0), 10.0);
+        tw.record(SimTime::from_secs(10), 20.0);
+        // now = 5s < last record at 10s: tail saturates to 0, total = 5s,
+        // integral so far = 10.0 * 10s = 100 → mean 20.0.
+        assert!((tw.mean(SimTime::from_secs(5)) - 20.0).abs() < 1e-9);
+        // now exactly at the last record: tail = 0, mean = 100 / 10 = 10.
+        assert!((tw.mean(SimTime::from_secs(10)) - 10.0).abs() < 1e-9);
+        // now before the *first* record: total saturates to 0 → falls back
+        // to the most recent value instead of dividing by zero.
+        let mut tw = TimeWeighted::new();
+        tw.record(SimTime::from_secs(10), 7.0);
+        assert_eq!(tw.mean(SimTime::from_secs(3)), 7.0);
+    }
+
+    #[test]
+    fn time_series_values_padded() {
+        let mut ts = TimeSeries::new(SimDuration::from_secs(60));
+        ts.incr(SimTime::from_secs(30)); // slot 0
+        ts.incr(SimTime::from_secs(70)); // slot 1
+                                         // Run spans 5 minutes but the last 3 slots are quiet: `values`
+                                         // truncates, `values_padded` does not.
+        assert_eq!(ts.values().len(), 2);
+        let padded = ts.values_padded(SimTime::from_secs(300));
+        assert_eq!(padded, vec![1.0, 1.0, 0.0, 0.0, 0.0]);
+        // A partial trailing slot still gets its own entry (ceil).
+        assert_eq!(ts.values_padded(SimTime::from_secs(301)).len(), 6);
+        // Padding never shrinks below the recorded slots.
+        assert_eq!(ts.values_padded(SimTime::from_secs(60)).len(), 2);
+        // Zero span on an empty series is empty.
+        let empty = TimeSeries::new(SimDuration::from_secs(60));
+        assert!(empty.values_padded(SimTime::ZERO).is_empty());
+        assert_eq!(empty.values_padded(SimTime::from_secs(120)), vec![0.0; 2]);
+    }
+
+    #[test]
+    fn time_series_peak_slot_total_order() {
+        // total_cmp orders NaN-free slot data identically to partial_cmp
+        // but cannot panic; ties resolve to the last max (Iterator::max_by
+        // keeps the later element on Equal).
+        let mut ts = TimeSeries::new(SimDuration::from_secs(1));
+        ts.add(SimTime::from_secs(0), 2.0);
+        ts.add(SimTime::from_secs(1), 5.0);
+        ts.add(SimTime::from_secs(2), 5.0);
+        assert_eq!(ts.peak_slot(), Some(2));
     }
 
     #[test]

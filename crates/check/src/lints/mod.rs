@@ -45,6 +45,7 @@ pub const TARGET_CRATES: &[&str] = &[
     "mobility",
     "sim",
     "obs",
+    "server",
 ];
 
 /// Files whose *pub* mutation surface must satisfy the full

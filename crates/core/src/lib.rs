@@ -41,10 +41,12 @@ pub mod manager;
 pub mod metrics;
 pub mod multicast;
 pub mod scenario;
+pub mod snapshot;
 pub mod strategy;
 
 pub use error::ControlError;
 pub use manager::{ManagerConfig, ResourceManager};
 pub use metrics::Metrics;
 pub use scenario::{Scenario, ScenarioReport};
+pub use snapshot::{ManagerSnapshot, SnapshotError, SNAPSHOT_SCHEMA_VERSION};
 pub use strategy::Strategy;

@@ -42,14 +42,16 @@ use arm_reservation::default_cell::OneStepMemory;
 use arm_reservation::dispatch::{decide_traced, ReservationDecision};
 use arm_reservation::meeting::{BookingCalendar, MeetingRoomPolicy};
 use arm_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
 
 use crate::error::ControlError;
 use crate::metrics::Metrics;
 use crate::multicast::MulticastState;
+use crate::snapshot::{ManagerSnapshot, SnapshotError};
 use crate::strategy::Strategy;
 
 /// Manager configuration.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ManagerConfig {
     /// Reservation strategy under test.
     pub strategy: Strategy,
@@ -108,8 +110,8 @@ impl Default for ManagerConfig {
 }
 
 /// Tracked per-portable state.
-#[derive(Clone, Copy, Debug)]
-struct PortableState {
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub(crate) struct PortableState {
     cell: CellId,
     prev_cell: Option<CellId>,
     entered_at: SimTime,
@@ -229,10 +231,84 @@ impl ResourceManager {
         self.obs = obs;
     }
 
+    /// Zones whose profile server is currently out — the health signal
+    /// a serving front end uses to decide degraded-mode admission.
+    pub fn profile_outages(&self) -> usize {
+        self.down_zones.len()
+    }
+
     /// Detach the observer (e.g. to build a run report), leaving
     /// observation off.
     pub fn take_obs(&mut self) -> Obs {
         std::mem::take(&mut self.obs)
+    }
+
+    /// Capture the complete control-plane state as a schema-versioned
+    /// [`ManagerSnapshot`] (everything except the passive observer).
+    /// See `crate::snapshot` for the completeness/exactness contract.
+    pub fn snapshot(&self) -> ManagerSnapshot {
+        ManagerSnapshot {
+            schema: crate::snapshot::SNAPSHOT_SCHEMA_VERSION,
+            net: self.net.clone(),
+            env: self.env.clone(),
+            profiles: self.profiles.clone(),
+            cfg: self.cfg.clone(),
+            metrics: self.metrics.clone(),
+            portables: self.portables.clone(),
+            meeting_policies: self.meeting_policies.clone(),
+            cafeteria_pred: self.cafeteria_pred.clone(),
+            default_pred: self.default_pred.clone(),
+            slot_outflow: self.slot_outflow.clone(),
+            multicast: self.multicast.clone(),
+            last_excess: self.last_excess.clone(),
+            adaptation_rounds: self.adaptation_rounds,
+            maxmin: self.maxmin.clone(),
+            channel_renegotiations: self.channel_renegotiations,
+            server_node: self.server_node,
+            down_links: self.down_links.clone(),
+            down_zones: self.down_zones.clone(),
+            doomed_handoffs: self.doomed_handoffs.clone(),
+            link_failures: self.link_failures,
+            stale_profile_fallbacks: self.stale_profile_fallbacks,
+            lost_profile_updates: self.lost_profile_updates,
+            handoff_signalling_failures: self.handoff_signalling_failures,
+        }
+    }
+
+    /// Rebuild a manager from a snapshot, attaching `obs` as the new
+    /// process's observer (snapshots never carry one — observation is
+    /// passive and bit-identical, so any observer is valid here).
+    ///
+    /// The snapshot is validated first: schema skew and inconsistent
+    /// ledgers come back as typed [`SnapshotError`]s, never panics.
+    pub fn restore(snap: ManagerSnapshot, obs: Obs) -> Result<Self, SnapshotError> {
+        snap.validate()?;
+        Ok(ResourceManager {
+            net: snap.net,
+            env: snap.env,
+            profiles: snap.profiles,
+            cfg: snap.cfg,
+            metrics: snap.metrics,
+            portables: snap.portables,
+            meeting_policies: snap.meeting_policies,
+            cafeteria_pred: snap.cafeteria_pred,
+            default_pred: snap.default_pred,
+            slot_outflow: snap.slot_outflow,
+            multicast: snap.multicast,
+            last_excess: snap.last_excess,
+            adaptation_rounds: snap.adaptation_rounds,
+            maxmin: snap.maxmin,
+            channel_renegotiations: snap.channel_renegotiations,
+            server_node: snap.server_node,
+            down_links: snap.down_links,
+            down_zones: snap.down_zones,
+            doomed_handoffs: snap.doomed_handoffs,
+            link_failures: snap.link_failures,
+            stale_profile_fallbacks: snap.stale_profile_fallbacks,
+            lost_profile_updates: snap.lost_profile_updates,
+            handoff_signalling_failures: snap.handoff_signalling_failures,
+            obs,
+        })
     }
 
     /// Replace a meeting room's booking calendar.

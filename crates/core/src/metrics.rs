@@ -4,9 +4,10 @@ use arm_net::ids::CellId;
 use arm_obs::MetricsSummary;
 use arm_sim::stats::{Counter, TimeSeries};
 use arm_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
 
 /// Counters and series collected over one simulation run.
-#[derive(Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Metrics {
     /// New-connection requests offered.
     pub requests: Counter,

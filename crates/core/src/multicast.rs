@@ -22,10 +22,11 @@ use arm_net::ids::{CellId, ConnId, LinkId};
 use arm_net::link::ResvClaim;
 use arm_net::routing::shortest_path;
 use arm_net::Network;
+use serde::{Deserialize, Serialize};
 
 /// The wired legs currently reserved for one connection's multicast
 /// fan-out: neighbour cell → wired links of the branch.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct MulticastState {
     branches: BTreeMap<ConnId, BTreeMap<CellId, Vec<LinkId>>>,
     /// Branch set-up attempts that failed admission (non-fatal).

@@ -149,9 +149,12 @@ pub fn run(sc: &Scenario) -> Result<ScenarioReport, ControlError> {
 
 /// Build the manager (with its environment, network, and calendar) and
 /// the mobility trace a scenario describes.
-pub(crate) fn build_manager(
-    sc: &Scenario,
-) -> Result<(ResourceManager, MobilityTrace), ControlError> {
+///
+/// Public so long-running drivers (`arm-server`) can construct the same
+/// validated manager the batch runners use and then feed it events from
+/// elsewhere — the returned trace is the scenario's *suggested* workload
+/// and may be ignored, replayed, or converted to a server event stream.
+pub fn build_manager(sc: &Scenario) -> Result<(ResourceManager, MobilityTrace), ControlError> {
     let (env, trace) = build_env_and_trace(sc)?;
     let net = env.build_network(sc.cell_throughput_kbps, sc.wireless_error, sc.backbone_kbps);
     let cfg = ManagerConfig {

@@ -233,3 +233,94 @@ fn empty_schedule_reproduces_the_plain_run_bit_for_bit() {
     assert_eq!(chaos.invariant_checks, 0);
     assert_eq!(chaos.lossy_maxmin_checks, 0);
 }
+
+/// Rate bits of every live connection, sorted — the bit-exact state
+/// fingerprint the snapshot tests compare.
+fn rate_bits(mgr: &ResourceManager) -> Vec<(ConnId, u64)> {
+    let mut v: Vec<(ConnId, u64)> = mgr
+        .net
+        .live_connections()
+        .map(|c| (c.id, c.b_current.to_bits()))
+        .collect();
+    v.sort();
+    v
+}
+
+/// A snapshot taken *during* a link outage must carry the outage seal
+/// (the `ResvClaim::Outage` claim that blocks new admissions on the
+/// failed link), and the restored manager must behave identically from
+/// then on: same blocked request during the outage, same re-admission
+/// after restoration, same rate bits throughout.
+#[test]
+fn snapshot_during_link_outage_restores_the_seal_and_readmission() {
+    use arm_core::ManagerSnapshot;
+    use arm_net::link::ResvClaim;
+    use arm_obs::Obs;
+
+    let sc = office_scenario(21);
+    let (mut mgr, _trace) = scenario::build_manager(&sc).expect("valid scenario");
+    let mut t = SimTime::from_secs(1);
+    let mut tick = || {
+        t += SimDuration::from_secs(1);
+        t
+    };
+    let qos = || {
+        QosRequest::bandwidth(100.0, 400.0)
+            .with_delay(30.0)
+            .with_jitter(30.0)
+            .with_loss(1.0)
+    };
+    for p in 0..3u32 {
+        mgr.portable_appears(PortableId(p), CellId(p), tick());
+        mgr.request_connection(PortableId(p), qos(), tick())
+            .expect("uncontended admission");
+    }
+    // Fail cell 0's wireless link mid-run: the remaining headroom is
+    // sealed with an Outage claim.
+    let wl = mgr.net.topology().wireless_link(CellId(0));
+    mgr.link_failed(wl, tick());
+    let sealed = mgr.net.link(wl).claim(ResvClaim::Outage);
+    assert!(sealed > 0.0, "outage must seal the link's headroom");
+
+    // Snapshot through bytes while the outage is active.
+    let json = mgr.snapshot().to_json().expect("snapshot serializes");
+    let snap = ManagerSnapshot::from_json(&json).expect("snapshot parses");
+    let mut restored = ResourceManager::restore(snap, Obs::off()).expect("snapshot restores");
+
+    assert_eq!(
+        restored.net.link(wl).claim(ResvClaim::Outage).to_bits(),
+        sealed.to_bits(),
+        "outage seal must survive the round trip bit-for-bit"
+    );
+    assert!(restored.is_link_down(wl), "down-link set must survive");
+    assert_eq!(rate_bits(&mgr), rate_bits(&restored));
+
+    // From here on, original and restored must stay in lockstep.
+    // During the outage, a request in the sealed cell is refused by
+    // both...
+    for m in [&mut mgr, &mut restored] {
+        m.portable_appears(PortableId(9), CellId(0), t + SimDuration::from_secs(1));
+        let refused = m
+            .request_connection(PortableId(9), qos(), t + SimDuration::from_secs(2))
+            .is_err();
+        assert!(refused, "sealed link must refuse new admissions");
+    }
+    // ...and after restoration, the same request is admitted by both
+    // at identical rates.
+    for m in [&mut mgr, &mut restored] {
+        m.link_restored(wl, t + SimDuration::from_secs(3));
+        m.request_connection(PortableId(9), qos(), t + SimDuration::from_secs(4))
+            .expect("restored link must re-admit");
+        assert!(m.net.check_invariants().is_ok());
+    }
+    assert_eq!(
+        rate_bits(&mgr),
+        rate_bits(&restored),
+        "post-restore behaviour diverged"
+    );
+    assert_eq!(
+        format!("{:?}", mgr.metrics.summary()),
+        format!("{:?}", restored.metrics.summary()),
+        "metrics diverged"
+    );
+}

@@ -6,13 +6,14 @@
 //! rate, and lifecycle state; per-link numbers live in the link ledgers.
 
 use arm_sim::SimTime;
+use serde::{Deserialize, Serialize};
 
 use crate::flowspec::QosRequest;
 use crate::ids::{CellId, ConnId, NodeId, PortableId};
 use crate::routing::Route;
 
 /// Where a connection is in its life.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ConnectionState {
     /// Admitted and transferring.
     Active,
@@ -36,7 +37,7 @@ impl ConnectionState {
 }
 
 /// One QoS-bounded flow.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Connection {
     /// Identifier.
     pub id: ConnId,

@@ -31,10 +31,12 @@
 
 use std::collections::BTreeMap;
 
+use serde::{Deserialize, Serialize};
+
 use crate::ids::{CellId, ConnId};
 
 /// Who owns an advance-reservation claim.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum ResvClaim {
     /// Profile-predicted handoff of one specific connection.
     Conn(ConnId),
@@ -57,7 +59,7 @@ pub enum ResvClaim {
 }
 
 /// One connection's slice of the link.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Alloc {
     /// Guaranteed floor `b_min` (kbps).
     pub b_min: f64,
@@ -107,6 +109,61 @@ pub struct LinkState {
     sum_b_alloc: f64,
     sum_resv: f64,
     sum_buffer: f64,
+}
+
+// Snapshot support. Manual impls because `buffer_capacity` defaults to
+// `f64::INFINITY` ("effectively unlimited pool"), and the vendored JSON
+// writer lowers non-finite floats to `null` — which a derived `f64`
+// deserializer would reject. The unlimited pool is therefore encoded
+// explicitly as `null` and restored as `INFINITY`, keeping the
+// serialize → deserialize → re-serialize cycle byte-identical.
+impl Serialize for LinkState {
+    fn to_value(&self) -> serde::Value {
+        let buffer_capacity = if self.buffer_capacity.is_finite() {
+            self.buffer_capacity.to_value()
+        } else {
+            serde::Value::Null
+        };
+        serde::Value::Object(vec![
+            ("capacity".to_string(), self.capacity.to_value()),
+            ("buffer_capacity".to_string(), buffer_capacity),
+            ("allocs".to_string(), self.allocs.to_value()),
+            ("advance".to_string(), self.advance.to_value()),
+            ("sum_b_min".to_string(), self.sum_b_min.to_value()),
+            ("sum_b_alloc".to_string(), self.sum_b_alloc.to_value()),
+            ("sum_resv".to_string(), self.sum_resv.to_value()),
+            ("sum_buffer".to_string(), self.sum_buffer.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for LinkState {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("LinkState: expected object"))?;
+        let capacity: f64 = serde::from_field(obj, "capacity", "LinkState")?;
+        if !capacity.is_finite() || capacity <= 0.0 {
+            return Err(serde::Error::custom(
+                "LinkState: capacity must be positive and finite",
+            ));
+        }
+        let buffer_capacity = match obj.iter().find(|(k, _)| k == "buffer_capacity") {
+            Some((_, serde::Value::Null)) => f64::INFINITY,
+            Some((_, v)) => f64::from_value(v)?,
+            None => return Err(serde::Error::missing_field("buffer_capacity", "LinkState")),
+        };
+        Ok(LinkState {
+            capacity,
+            buffer_capacity,
+            allocs: serde::from_field(obj, "allocs", "LinkState")?,
+            advance: serde::from_field(obj, "advance", "LinkState")?,
+            sum_b_min: serde::from_field(obj, "sum_b_min", "LinkState")?,
+            sum_b_alloc: serde::from_field(obj, "sum_b_alloc", "LinkState")?,
+            sum_resv: serde::from_field(obj, "sum_resv", "LinkState")?,
+            sum_buffer: serde::from_field(obj, "sum_buffer", "LinkState")?,
+        })
+    }
 }
 
 /// Numerical slack for float accounting; a millionth of a kbps.

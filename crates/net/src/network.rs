@@ -12,6 +12,8 @@
 
 use std::collections::BTreeSet;
 
+use serde::{Deserialize, Serialize};
+
 use crate::connection::{Connection, ConnectionState};
 use crate::ids::{CellId, ConnId, LinkId};
 use crate::link::{LedgerError, LinkState};
@@ -19,7 +21,7 @@ use crate::routing::Route;
 use crate::topology::Topology;
 
 /// Topology plus run-time state.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Network {
     topo: Topology,
     links: Vec<LinkState>,

@@ -13,12 +13,14 @@
 //! indoor backbones are small trees or meshes where shared prefixes are
 //! found naturally by identical shortest-path prefixes.
 
+use serde::{Deserialize, Serialize};
+
 use crate::ids::{LinkId, NodeId};
 use crate::topology::Topology;
 
 /// A loop-free path: the node sequence and the capacity resources of each
 /// hop, in travel order.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Route {
     /// Visited nodes, source first, destination last.
     pub nodes: Vec<NodeId>,

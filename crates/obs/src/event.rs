@@ -146,6 +146,20 @@ pub enum ObsEvent {
         /// What was injected (e.g. `link-failed`, `profile-server-down`).
         fault: String,
     },
+    /// The server ingestion layer rejected one input line. The stream
+    /// always continues past a rejection — this event (plus the
+    /// server's rejection counter) is how the skip is surfaced instead
+    /// of aborting.
+    IngestRejected {
+        /// Sim-time of the last accepted event when the line arrived.
+        t: SimTime,
+        /// Stable reason slug (`malformed`, `non-finite`,
+        /// `negative-rate`, `out-of-order`, `unknown-entity`,
+        /// `invalid-parameter`).
+        reason: String,
+        /// Human-readable detail (offending field or parser message).
+        detail: String,
+    },
 }
 
 /// Discriminant-only view of [`ObsEvent`], for counting and reports.
@@ -169,11 +183,13 @@ pub enum EventKind {
     ReservationDispatch,
     /// [`ObsEvent::FaultInjected`].
     FaultInjected,
+    /// [`ObsEvent::IngestRejected`].
+    IngestRejected,
 }
 
 impl EventKind {
     /// Every kind, in schema order.
-    pub const ALL: [EventKind; 9] = [
+    pub const ALL: [EventKind; 10] = [
         EventKind::AdmitDecision,
         EventKind::MaxminRound,
         EventKind::AdvertiseSent,
@@ -183,6 +199,7 @@ impl EventKind {
         EventKind::ReservationSlotRolled,
         EventKind::ReservationDispatch,
         EventKind::FaultInjected,
+        EventKind::IngestRejected,
     ];
 
     /// Stable name (matches the `ObsEvent` variant and report schema).
@@ -197,6 +214,7 @@ impl EventKind {
             EventKind::ReservationSlotRolled => "ReservationSlotRolled",
             EventKind::ReservationDispatch => "ReservationDispatch",
             EventKind::FaultInjected => "FaultInjected",
+            EventKind::IngestRejected => "IngestRejected",
         }
     }
 
@@ -211,6 +229,7 @@ impl EventKind {
             EventKind::ReservationSlotRolled => 6,
             EventKind::ReservationDispatch => 7,
             EventKind::FaultInjected => 8,
+            EventKind::IngestRejected => 9,
         }
     }
 }
@@ -228,6 +247,7 @@ impl ObsEvent {
             ObsEvent::ReservationSlotRolled { .. } => EventKind::ReservationSlotRolled,
             ObsEvent::ReservationDispatch { .. } => EventKind::ReservationDispatch,
             ObsEvent::FaultInjected { .. } => EventKind::FaultInjected,
+            ObsEvent::IngestRejected { .. } => EventKind::IngestRejected,
         }
     }
 
@@ -242,7 +262,8 @@ impl ObsEvent {
             | ObsEvent::ClaimConsumed { t, .. }
             | ObsEvent::ReservationSlotRolled { t, .. }
             | ObsEvent::ReservationDispatch { t, .. }
-            | ObsEvent::FaultInjected { t, .. } => *t,
+            | ObsEvent::FaultInjected { t, .. }
+            | ObsEvent::IngestRejected { t, .. } => *t,
         }
     }
 }

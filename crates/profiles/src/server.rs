@@ -15,6 +15,7 @@ use std::collections::BTreeMap;
 
 use arm_net::ids::{CellId, PortableId, ZoneId};
 use arm_sim::SimTime;
+use serde::{Deserialize, Serialize};
 
 use crate::cell::{CellProfile, DEFAULT_N_PC};
 use crate::class::CellClass;
@@ -46,7 +47,7 @@ use crate::prediction::{predict_next_cell, Prediction};
 /// assert_eq!(pred.cell, Some(CellId(2)));
 /// assert_eq!(pred.level, PredictionLevel::PortableProfile);
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ProfileServer {
     /// The zone this server is responsible for.
     pub zone: ZoneId,

@@ -20,13 +20,14 @@ use std::collections::BTreeMap;
 
 use arm_net::ids::{CellId, PortableId, ZoneId};
 use arm_sim::SimTime;
+use serde::{Deserialize, Serialize};
 
 use crate::cell::CellProfile;
 use crate::prediction::{Prediction, PredictionLevel};
 use crate::server::ProfileServer;
 
 /// A universe of zones, each with its profile server.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ZonedProfiles {
     zone_of: BTreeMap<CellId, ZoneId>,
     servers: BTreeMap<ZoneId, ProfileServer>,

@@ -25,6 +25,7 @@ use arm_net::ids::{CellId, ConnId, LinkId, PortableId};
 use arm_net::link::ResvClaim;
 use arm_net::Network;
 use arm_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
 
 /// What an observed excess-bandwidth change at a link calls for.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -85,7 +86,7 @@ impl StaticMobileTest {
 }
 
 /// Policy for the `B_dyn` pool of a cell's wireless link.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct DynPoolPolicy {
     /// Lower bound as a fraction of cell capacity (paper: 5%).
     pub min_fraction: f64,

@@ -45,12 +45,13 @@ pub mod wfq;
 use arm_net::ids::{ConnId, LinkId};
 use arm_net::link::LedgerError;
 use arm_net::Network;
+use serde::{Deserialize, Serialize};
 
 use crate::maxmin::advertised::advertised_rate;
 
 /// Scheduling discipline at intermediate nodes (§5.1 uses these two as
 /// representative work-conserving / non-work-conserving disciplines).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Discipline {
     /// Work-conserving weighted fair queueing.
     Wfq,

@@ -16,6 +16,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use arm_net::ids::{ConnId, LinkId};
 use arm_net::Network;
+use serde::{Deserialize, Serialize};
 
 /// A maxmin allocation problem over excess capacities and excess demands.
 ///
@@ -46,7 +47,7 @@ pub struct MaxminProblem {
 }
 
 /// One connection's demand side.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ConnDemand {
     /// `b_max − b_min`.
     pub demand: f64,

@@ -44,12 +44,13 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use arm_net::ids::{ConnId, LinkId};
 use arm_net::{Connection, Network};
+use serde::{Deserialize, Serialize};
 
 use super::centralized::{self, Allocation, ConnDemand, MaxminProblem};
 
 /// Counters describing how much work the engine has saved. Purely
 /// informational; exposed for benches and tests.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EngineStats {
     /// Resolves that found a non-empty dirty set.
     pub incremental_solves: u64,
@@ -63,7 +64,7 @@ pub struct EngineStats {
 }
 
 /// Resident incremental maxmin solver (see module docs).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct IncrementalMaxmin {
     /// Excess capacity per link, mirroring `MaxminProblem::link_excess`.
     link_excess: BTreeMap<LinkId, f64>,

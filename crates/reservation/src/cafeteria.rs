@@ -30,6 +30,8 @@
 
 use std::collections::VecDeque;
 
+use serde::{Deserialize, Serialize};
+
 /// Closed-form least-squares fit of `n = a·t + m` over the last three
 /// slots, evaluated at the slot index `t` of the newest sample.
 pub fn least_squares_params(n_tm2: f64, n_tm1: f64, n_t: f64, t: f64) -> (f64, f64) {
@@ -51,7 +53,7 @@ pub fn predict_next(n_tm2: f64, n_tm1: f64, n_t: f64, t: f64) -> f64 {
 }
 
 /// Sliding three-slot window with the slot index tracked automatically.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct CafeteriaPredictor {
     window: VecDeque<f64>,
     /// Slot index of the newest sample.

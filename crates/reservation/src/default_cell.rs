@@ -9,8 +9,10 @@
 //! the probabilistic reservation algorithm
 //! ([`crate::probabilistic`]) for its own inbound capacity.
 
+use serde::{Deserialize, Serialize};
+
 /// One-step-memory predictor.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
 pub struct OneStepMemory {
     last: f64,
     seen_any: bool,

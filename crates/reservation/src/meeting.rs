@@ -111,7 +111,7 @@ impl Default for MeetingTimers {
 }
 
 /// The per-room policy state.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct MeetingRoomPolicy {
     calendar: BookingCalendar,
     timers: MeetingTimers,

@@ -1,0 +1,206 @@
+//! The server's wire-format event vocabulary.
+//!
+//! One JSONL line per event, externally tagged, e.g.:
+//!
+//! ```text
+//! {"Appear":{"t":120000000,"portable":3,"cell":2}}
+//! {"Move":{"t":180000000,"portable":3,"to":5}}
+//! {"LinkDown":{"t":200000000,"link":7}}
+//! {"Depart":{"t":240000000,"portable":3}}
+//! ```
+//!
+//! Times are [`SimTime`] ticks and must be nondecreasing across the
+//! stream — the server is a deterministic state machine over this
+//! journal, which is what makes restore-and-replay exact (see
+//! `crate::server`). Out-of-order, non-finite, or malformed lines are
+//! rejected *per line* (typed [`crate::ingest::IngestError`]), never
+//! aborting the stream.
+
+use arm_net::ids::{CellId, LinkId, PortableId, ZoneId};
+use arm_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One ingestible event.
+///
+/// The vocabulary covers the manager's full control surface: portable
+/// lifecycle (`Appear`/`Move`/`Depart`), explicit QoS requests, fault
+/// injection (links, profile servers, handoff signalling, channel
+/// fades), and the transport's own health signal (`QueuePressure`,
+/// journaled so degraded-mode shedding replays deterministically).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ServerEvent {
+    /// A portable enters the environment at `cell`. Under a sampled
+    /// workload (`Paper71`/`Fixed`) the server also opens the user's
+    /// connection, drawing its QoS from the workload stream.
+    Appear {
+        /// Event time (ticks).
+        t: SimTime,
+        /// The arriving portable.
+        portable: PortableId,
+        /// The cell it appears in.
+        cell: CellId,
+    },
+    /// A handoff: the portable crosses into `to`.
+    Move {
+        /// Event time (ticks).
+        t: SimTime,
+        /// The moving portable.
+        portable: PortableId,
+        /// The destination cell.
+        to: CellId,
+    },
+    /// The portable leaves the environment; its open connection (if
+    /// any) is terminated.
+    Depart {
+        /// Event time (ticks).
+        t: SimTime,
+        /// The departing portable.
+        portable: PortableId,
+    },
+    /// An explicit connection request with caller-supplied bandwidth
+    /// bounds (kbps). Rates must be finite and positive with
+    /// `b_max_kbps ≥ b_min_kbps`.
+    Request {
+        /// Event time (ticks).
+        t: SimTime,
+        /// The requesting portable (must be present).
+        portable: PortableId,
+        /// Guaranteed floor `b_min` (kbps).
+        b_min_kbps: f64,
+        /// Maximum useful bandwidth `b_max` (kbps).
+        b_max_kbps: f64,
+    },
+    /// A link fails (capacity drops to the admitted floors).
+    LinkDown {
+        /// Event time (ticks).
+        t: SimTime,
+        /// The failing link.
+        link: LinkId,
+    },
+    /// The link comes back.
+    LinkUp {
+        /// Event time (ticks).
+        t: SimTime,
+        /// The restored link.
+        link: LinkId,
+    },
+    /// A zone's profile server stops answering. While any zone is
+    /// down the server operates degraded (new admissions squeezed to
+    /// `b_min`).
+    ProfileServerDown {
+        /// Event time (ticks).
+        t: SimTime,
+        /// The affected zone.
+        zone: ZoneId,
+    },
+    /// The zone's profile server recovers (with stale profiles).
+    ProfileServerUp {
+        /// Event time (ticks).
+        t: SimTime,
+        /// The recovered zone.
+        zone: ZoneId,
+    },
+    /// The portable's next handoff loses its signalling (advance
+    /// claims unusable for that handoff).
+    FailNextHandoff {
+        /// Event time (ticks).
+        t: SimTime,
+        /// The affected portable.
+        portable: PortableId,
+    },
+    /// The wireless channel of `cell` fades to `fraction` of nominal
+    /// capacity (`0 < fraction ≤ 1`).
+    ChannelChange {
+        /// Event time (ticks).
+        t: SimTime,
+        /// The affected cell.
+        cell: CellId,
+        /// Effective capacity fraction.
+        fraction: f64,
+    },
+    /// The transport layer's backpressure signal: the bounded input
+    /// queue crossed its watermark (`on = true`) or drained back
+    /// (`on = false`). Journaled like any other event so a restored
+    /// replay sheds the exact same admissions the live run shed.
+    QueuePressure {
+        /// Event time (ticks).
+        t: SimTime,
+        /// Whether pressure is now asserted.
+        on: bool,
+    },
+}
+
+impl ServerEvent {
+    /// The event's timestamp.
+    pub fn time(&self) -> SimTime {
+        match self {
+            ServerEvent::Appear { t, .. }
+            | ServerEvent::Move { t, .. }
+            | ServerEvent::Depart { t, .. }
+            | ServerEvent::Request { t, .. }
+            | ServerEvent::LinkDown { t, .. }
+            | ServerEvent::LinkUp { t, .. }
+            | ServerEvent::ProfileServerDown { t, .. }
+            | ServerEvent::ProfileServerUp { t, .. }
+            | ServerEvent::FailNextHandoff { t, .. }
+            | ServerEvent::ChannelChange { t, .. }
+            | ServerEvent::QueuePressure { t, .. } => *t,
+        }
+    }
+
+    /// Stable variant label (journal statistics, rejection details).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ServerEvent::Appear { .. } => "Appear",
+            ServerEvent::Move { .. } => "Move",
+            ServerEvent::Depart { .. } => "Depart",
+            ServerEvent::Request { .. } => "Request",
+            ServerEvent::LinkDown { .. } => "LinkDown",
+            ServerEvent::LinkUp { .. } => "LinkUp",
+            ServerEvent::ProfileServerDown { .. } => "ProfileServerDown",
+            ServerEvent::ProfileServerUp { .. } => "ProfileServerUp",
+            ServerEvent::FailNextHandoff { .. } => "FailNextHandoff",
+            ServerEvent::ChannelChange { .. } => "ChannelChange",
+            ServerEvent::QueuePressure { .. } => "QueuePressure",
+        }
+    }
+
+    /// Canonical JSONL encoding (one line, no trailing newline).
+    pub fn to_jsonl(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_as_jsonl() {
+        let evs = [
+            ServerEvent::Appear {
+                t: SimTime::from_secs(1),
+                portable: PortableId(3),
+                cell: CellId(2),
+            },
+            ServerEvent::Request {
+                t: SimTime::from_secs(2),
+                portable: PortableId(3),
+                b_min_kbps: 16.0,
+                b_max_kbps: 64.0,
+            },
+            ServerEvent::QueuePressure {
+                t: SimTime::from_secs(3),
+                on: true,
+            },
+        ];
+        for ev in &evs {
+            let line = ev.to_jsonl().expect("serializable");
+            assert!(!line.contains('\n'), "one line per event: {line}");
+            let back: ServerEvent = serde_json::from_str(&line).expect("round trip");
+            assert_eq!(&back, ev);
+            assert_eq!(back.time(), ev.time());
+            assert!(!back.label().is_empty());
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! Ingestion hardening: a hostile input stream is counted, surfaced,
+//! and skipped — it never aborts the server and never corrupts state.
+
+use arm_core::scenario::{EnvSpec, MobilitySpec, Scenario, WorkloadSpec};
+use arm_core::Strategy;
+use arm_obs::{Obs, ObsEvent};
+use arm_server::{IngestError, LineOutcome, Server, ServerConfig, ServerEvent};
+use arm_sim::{SimDuration, SimTime};
+
+fn cfg(seed: u64) -> ServerConfig {
+    ServerConfig {
+        scenario: Scenario {
+            name: "server-ingest".into(),
+            environment: EnvSpec::Figure4,
+            mobility: MobilitySpec::RandomWalk {
+                population: 4,
+                mean_dwell_secs: 90,
+                span_mins: 5,
+            },
+            workload: WorkloadSpec::None,
+            strategy: Strategy::Paper,
+            cell_throughput_kbps: 800.0,
+            backbone_kbps: 100_000.0,
+            wireless_error: 0.0,
+            t_th_secs: 300,
+            seed,
+        },
+        slot: SimDuration::from_mins(1),
+        checkpoint_every: 0,
+        backlog_capacity: 16,
+    }
+}
+
+fn line(ev: &ServerEvent) -> String {
+    ev.to_jsonl().expect("serializable")
+}
+
+#[test]
+fn hostile_corpus_never_aborts_the_stream() {
+    let mut server = Server::new(cfg(3), Obs::recording(4096)).expect("valid scenario");
+
+    // A healthy prelude: one portable appears and asks for bandwidth.
+    let good = [
+        line(&ServerEvent::Appear {
+            t: SimTime::from_secs(10),
+            portable: arm_net::ids::PortableId(0),
+            cell: arm_net::ids::CellId(0),
+        }),
+        line(&ServerEvent::Request {
+            t: SimTime::from_secs(11),
+            portable: arm_net::ids::PortableId(0),
+            b_min_kbps: 16.0,
+            b_max_kbps: 64.0,
+        }),
+    ];
+    for l in &good {
+        assert_eq!(server.ingest_line(l), LineOutcome::Accepted, "{l}");
+    }
+
+    // The corpus: every class of bad line, with the reason slug each
+    // must surface under.
+    let corpus: Vec<(String, &str)> = vec![
+        ("{".into(), "malformed"),
+        ("not json at all".into(), "malformed"),
+        (r#"{"Teleport":{"t":0,"portable":0}}"#.into(), "malformed"),
+        // JSON null where a rate belongs fails f64 decoding.
+        (
+            r#"{"Request":{"t":12000000,"portable":0,"b_min_kbps":null,"b_max_kbps":64.0}}"#.into(),
+            "malformed",
+        ),
+        // Negative and zero rates decode fine but are semantically bad.
+        (
+            r#"{"Request":{"t":12000000,"portable":1,"b_min_kbps":-16.0,"b_max_kbps":64.0}}"#
+                .into(),
+            "unknown-entity", // portable 1 never appeared — checked first
+        ),
+        (
+            line(&ServerEvent::Request {
+                t: SimTime::from_secs(12),
+                portable: arm_net::ids::PortableId(0),
+                b_min_kbps: -16.0,
+                b_max_kbps: 64.0,
+            }),
+            "negative-rate",
+        ),
+        (
+            line(&ServerEvent::Request {
+                t: SimTime::from_secs(12),
+                portable: arm_net::ids::PortableId(0),
+                b_min_kbps: 64.0,
+                b_max_kbps: 16.0,
+            }),
+            "invalid-parameter", // inverted bounds
+        ),
+        // Time running backwards.
+        (
+            line(&ServerEvent::Move {
+                t: SimTime::from_secs(1),
+                portable: arm_net::ids::PortableId(0),
+                to: arm_net::ids::CellId(1),
+            }),
+            "out-of-order",
+        ),
+        // References past the edge of the world.
+        (
+            line(&ServerEvent::LinkDown {
+                t: SimTime::from_secs(13),
+                link: arm_net::ids::LinkId(9999),
+            }),
+            "unknown-entity",
+        ),
+        (
+            line(&ServerEvent::ProfileServerDown {
+                t: SimTime::from_secs(13),
+                zone: arm_net::ids::ZoneId(77),
+            }),
+            "unknown-entity",
+        ),
+        (
+            line(&ServerEvent::Appear {
+                t: SimTime::from_secs(13),
+                portable: arm_net::ids::PortableId(5),
+                cell: arm_net::ids::CellId(200),
+            }),
+            "unknown-entity",
+        ),
+        (
+            line(&ServerEvent::Move {
+                t: SimTime::from_secs(13),
+                portable: arm_net::ids::PortableId(42),
+                to: arm_net::ids::CellId(0),
+            }),
+            "unknown-entity",
+        ),
+        // A second Appear for a present portable.
+        (
+            line(&ServerEvent::Appear {
+                t: SimTime::from_secs(13),
+                portable: arm_net::ids::PortableId(0),
+                cell: arm_net::ids::CellId(0),
+            }),
+            "invalid-parameter",
+        ),
+        // Channel fraction outside (0, 1].
+        (
+            line(&ServerEvent::ChannelChange {
+                t: SimTime::from_secs(13),
+                cell: arm_net::ids::CellId(0),
+                fraction: 1.5,
+            }),
+            "invalid-parameter",
+        ),
+    ];
+
+    let before = server.accepted();
+    for (l, want_reason) in &corpus {
+        match server.ingest_line(l) {
+            LineOutcome::Rejected(e) => {
+                assert_eq!(&e.reason(), want_reason, "line {l} -> {e}");
+            }
+            LineOutcome::Accepted => panic!("corpus line accepted: {l}"),
+        }
+    }
+    assert_eq!(
+        server.accepted(),
+        before,
+        "rejections must not change state"
+    );
+    assert_eq!(server.rejected(), corpus.len() as u64);
+
+    // The stream continues: a good event still lands.
+    let tail = line(&ServerEvent::Move {
+        t: SimTime::from_secs(20),
+        portable: arm_net::ids::PortableId(0),
+        to: arm_net::ids::CellId(1),
+    });
+    assert_eq!(server.ingest_line(&tail), LineOutcome::Accepted);
+    assert_eq!(server.accepted(), before + 1);
+
+    // Every rejection surfaced on the observability stream, with its
+    // slug.
+    let obs = server.mgr.take_obs();
+    let rejections: Vec<ObsEvent> = obs
+        .snapshot_events()
+        .into_iter()
+        .filter(|e| matches!(e, ObsEvent::IngestRejected { .. }))
+        .collect();
+    assert_eq!(rejections.len(), corpus.len());
+    for ((_, want_reason), got) in corpus.iter().zip(&rejections) {
+        match got {
+            ObsEvent::IngestRejected { reason, detail, .. } => {
+                assert_eq!(reason, want_reason);
+                assert!(!detail.is_empty());
+            }
+            other => panic!("want IngestRejected, got {other:?}"),
+        }
+    }
+    let counted = obs
+        .event_counts()
+        .into_iter()
+        .find(|c| c.kind == "IngestRejected")
+        .expect("IngestRejected counted");
+    assert_eq!(counted.count, corpus.len() as u64);
+}
+
+#[test]
+fn non_finite_rates_are_typed_rejections() {
+    // JSON cannot carry NaN, but the programmatic path must still
+    // reject it (a buggy upstream could construct events directly).
+    let mut server = Server::new(cfg(4), Obs::off()).expect("valid scenario");
+    server
+        .apply_event(&ServerEvent::Appear {
+            t: SimTime::from_secs(1),
+            portable: arm_net::ids::PortableId(0),
+            cell: arm_net::ids::CellId(0),
+        })
+        .expect("valid event");
+    for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        let err = server
+            .apply_event(&ServerEvent::Request {
+                t: SimTime::from_secs(2),
+                portable: arm_net::ids::PortableId(0),
+                b_min_kbps: bad,
+                b_max_kbps: 64.0,
+            })
+            .expect_err("NaN/Inf must be rejected");
+        assert!(matches!(err, IngestError::NonFinite { .. }), "{bad}: {err}");
+        let err = server
+            .apply_event(&ServerEvent::ChannelChange {
+                t: SimTime::from_secs(2),
+                cell: arm_net::ids::CellId(0),
+                fraction: bad,
+            })
+            .expect_err("NaN/Inf fraction must be rejected");
+        assert!(matches!(err, IngestError::NonFinite { .. }), "{bad}: {err}");
+    }
+    assert_eq!(server.rejected(), 6);
+}
+
+#[test]
+fn degraded_mode_sheds_to_the_guaranteed_floor() {
+    let mut server = Server::new(cfg(5), Obs::off()).expect("valid scenario");
+    let p = arm_net::ids::PortableId(0);
+    server
+        .apply_event(&ServerEvent::Appear {
+            t: SimTime::from_secs(1),
+            portable: p,
+            cell: arm_net::ids::CellId(0),
+        })
+        .expect("valid event");
+    assert!(!server.degraded());
+
+    // Queue pressure on: the next admission is squeezed to b_min.
+    server
+        .apply_event(&ServerEvent::QueuePressure {
+            t: SimTime::from_secs(2),
+            on: true,
+        })
+        .expect("valid event");
+    assert!(server.degraded());
+    server
+        .apply_event(&ServerEvent::Request {
+            t: SimTime::from_secs(3),
+            portable: p,
+            b_min_kbps: 16.0,
+            b_max_kbps: 64.0,
+        })
+        .expect("valid event");
+    assert_eq!(server.shed(), 1, "adaptive request squeezed");
+    let id = *server.open_connections().get(&p).expect("admitted");
+    let conn = server.mgr.net.get(id).expect("installed");
+    assert_eq!(conn.qos.b_max, conn.qos.b_min, "admitted at the floor");
+
+    // Pressure off: back to full-quality admissions.
+    server
+        .apply_event(&ServerEvent::QueuePressure {
+            t: SimTime::from_secs(4),
+            on: false,
+        })
+        .expect("valid event");
+    assert!(!server.degraded());
+
+    // Profile-server outage also degrades.
+    server
+        .apply_event(&ServerEvent::ProfileServerDown {
+            t: SimTime::from_secs(5),
+            zone: arm_net::ids::ZoneId(0),
+        })
+        .expect("valid event");
+    assert!(server.degraded(), "profile outage degrades the server");
+    server
+        .apply_event(&ServerEvent::ProfileServerUp {
+            t: SimTime::from_secs(6),
+            zone: arm_net::ids::ZoneId(0),
+        })
+        .expect("valid event");
+    assert!(!server.degraded());
+}

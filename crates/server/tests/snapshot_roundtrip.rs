@@ -1,0 +1,144 @@
+//! Snapshot round-trip properties: any mid-run server state must
+//! serialize → deserialize → re-serialize byte-identically, and schema
+//! skew must surface as a typed error, never a panic or a misparse.
+
+use arm_core::scenario::{EnvSpec, MobilitySpec, Scenario, WorkloadSpec};
+use arm_core::{SnapshotError, Strategy};
+use arm_obs::Obs;
+use arm_server::drill::events_from_scenario;
+use arm_server::{Server, ServerConfig, ServerSnapshot};
+use arm_sim::{FaultSchedule, SimDuration};
+use proptest::prelude::*;
+
+/// A small random-walk configuration: fast to run, still exercising
+/// handoffs, admissions, terminations, and slot ticks.
+fn walk_cfg(seed: u64) -> ServerConfig {
+    ServerConfig {
+        scenario: Scenario {
+            name: "server-walk".into(),
+            environment: EnvSpec::Figure4,
+            mobility: MobilitySpec::RandomWalk {
+                population: 8,
+                mean_dwell_secs: 90,
+                span_mins: 12,
+            },
+            workload: WorkloadSpec::Paper71,
+            strategy: Strategy::Paper,
+            cell_throughput_kbps: 800.0,
+            backbone_kbps: 100_000.0,
+            wireless_error: 0.0,
+            t_th_secs: 300,
+            seed,
+        },
+        slot: SimDuration::from_mins(1),
+        checkpoint_every: 64,
+        backlog_capacity: 64,
+    }
+}
+
+/// Run a server through the first `prefix` events of its scenario
+/// stream.
+fn server_at(cfg: &ServerConfig, prefix: usize) -> Server {
+    let events =
+        events_from_scenario(&cfg.scenario, &FaultSchedule::empty()).expect("valid scenario");
+    let mut server = Server::new(cfg.clone(), Obs::off()).expect("valid scenario");
+    let prefix = prefix.min(events.len());
+    for ev in &events[..prefix] {
+        server.apply_event(ev).expect("generated events are valid");
+    }
+    server
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Arbitrary mid-run states round-trip byte-identically, for both
+    /// the server snapshot and the embedded manager snapshot.
+    #[test]
+    fn snapshot_round_trip_is_byte_identical(seed in 0u64..1000, cut in 0usize..400) {
+        let cfg = walk_cfg(seed);
+        let server = server_at(&cfg, cut);
+
+        // `to_json` internally validates serialize → parse →
+        // re-serialize equality; do the external loop again to pin the
+        // public API.
+        let json = server.snapshot().to_json().expect("snapshot serializes");
+        let back = ServerSnapshot::from_json(&json).expect("snapshot parses");
+        let again = back.to_json().expect("restored snapshot serializes");
+        prop_assert_eq!(&json, &again, "server snapshot round trip drifted");
+
+        let mjson = server.mgr.snapshot().to_json().expect("manager snapshot serializes");
+        let mback = arm_core::ManagerSnapshot::from_json(&mjson).expect("manager snapshot parses");
+        prop_assert_eq!(
+            &mjson,
+            &serde_json::to_string(&mback).expect("re-serializes"),
+            "manager snapshot round trip drifted"
+        );
+    }
+
+    /// A restored server is behaviourally identical, not just
+    /// byte-identical: its next snapshot matches too.
+    #[test]
+    fn restore_preserves_state_exactly(seed in 0u64..1000, cut in 0usize..300) {
+        let cfg = walk_cfg(seed);
+        let server = server_at(&cfg, cut);
+        let json = server.snapshot().to_json().expect("snapshot serializes");
+        let restored = Server::restore(
+            ServerSnapshot::from_json(&json).expect("parses"),
+            Obs::off(),
+        )
+        .expect("restores");
+        let json2 = restored.snapshot().to_json().expect("snapshot serializes");
+        prop_assert_eq!(json, json2, "restore changed state");
+    }
+}
+
+#[test]
+fn mismatched_server_schema_is_a_typed_error() {
+    let server = server_at(&walk_cfg(7), 40);
+    let json = server.snapshot().to_json().expect("snapshot serializes");
+    assert!(
+        json.starts_with("{\"schema\":1,"),
+        "layout drifted: {json:.60}"
+    );
+    let skewed = json.replacen("{\"schema\":1,", "{\"schema\":999,", 1);
+    match ServerSnapshot::from_json(&skewed) {
+        Err(SnapshotError::SchemaMismatch { found, expected }) => {
+            assert_eq!(found, 999);
+            assert_eq!(expected, arm_server::SERVER_SNAPSHOT_SCHEMA_VERSION);
+        }
+        other => panic!("want SchemaMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn mismatched_manager_schema_is_a_typed_error() {
+    let server = server_at(&walk_cfg(7), 40);
+    let json = server
+        .mgr
+        .snapshot()
+        .to_json()
+        .expect("snapshot serializes");
+    assert!(
+        json.starts_with("{\"schema\":1,"),
+        "layout drifted: {json:.60}"
+    );
+    let skewed = json.replacen("{\"schema\":1,", "{\"schema\":42,", 1);
+    match arm_core::ManagerSnapshot::from_json(&skewed) {
+        Err(SnapshotError::SchemaMismatch { found, expected }) => {
+            assert_eq!(found, 42);
+            assert_eq!(expected, arm_core::SNAPSHOT_SCHEMA_VERSION);
+        }
+        other => panic!("want SchemaMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn garbage_snapshots_are_typed_parse_errors() {
+    for garbage in ["", "{", "[1,2,3]", "{\"no_schema\":true}"] {
+        match ServerSnapshot::from_json(garbage) {
+            Err(SnapshotError::Parse(_)) => {}
+            other => panic!("{garbage:?}: want Parse error, got {other:?}"),
+        }
+    }
+}

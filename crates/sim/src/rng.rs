@@ -219,6 +219,36 @@ impl SimRng {
     }
 }
 
+// Snapshot support: a stream is its originating seed plus the raw
+// xoshiro256++ state words, so a restored stream resumes exactly where
+// the checkpoint left it (not at the seed). Manual impls because the
+// inner generator lives in the vendored `rand` crate.
+impl serde::Serialize for SimRng {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("seed".to_string(), self.seed.to_value()),
+            ("state".to_string(), self.inner.state().to_vec().to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for SimRng {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("SimRng: expected object"))?;
+        let seed: u64 = serde::from_field(obj, "seed", "SimRng")?;
+        let words: Vec<u64> = serde::from_field(obj, "state", "SimRng")?;
+        let state: [u64; 4] = words
+            .try_into()
+            .map_err(|_| serde::Error::custom("SimRng: state must hold exactly 4 words"))?;
+        Ok(SimRng {
+            inner: SmallRng::from_state(state),
+            seed,
+        })
+    }
+}
+
 impl RngCore for SimRng {
     fn next_u32(&mut self) -> u32 {
         self.inner.next_u32()
@@ -259,6 +289,26 @@ mod tests {
         let mut i0 = root.split_index("portable", 0);
         let mut i1 = root.split_index("portable", 1);
         assert_ne!(i0.next_u64(), i1.next_u64());
+    }
+
+    #[test]
+    fn serde_round_trip_resumes_mid_stream() {
+        use serde::{Deserialize, Serialize};
+        let mut a = SimRng::new(42);
+        for _ in 0..13 {
+            a.next_u64();
+        }
+        let v = a.to_value();
+        let mut b = SimRng::from_value(&v).expect("round trip");
+        assert_eq!(b.seed(), 42);
+        for _ in 0..50 {
+            assert_eq!(a.next_u64(), b.next_u64(), "restored stream must resume");
+        }
+        let bad = serde::Value::Object(vec![
+            ("seed".to_string(), 1u64.to_value()),
+            ("state".to_string(), vec![1u64, 2].to_value()),
+        ]);
+        assert!(SimRng::from_value(&bad).is_err(), "short state rejected");
     }
 
     #[test]

@@ -6,10 +6,15 @@
 //! a [`Histogram`] (delay distributions), and a [`TimeSeries`] (the
 //! per-minute handoff activity curves of Figures 2 and 5).
 
+use serde::{Deserialize, Serialize};
+
 use crate::time::{SimDuration, SimTime};
 
 /// A monotone event counter.
-#[derive(Clone, Debug, Default)]
+///
+/// Serializable so long-running servers can checkpoint metrics
+/// mid-stream and restore them bit-identically.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct Counter {
     count: u64,
 }
@@ -271,7 +276,11 @@ impl Histogram {
 
 /// Values bucketed into fixed-width time slots — the instrument behind
 /// the paper's per-minute handoff activity plots.
-#[derive(Clone, Debug)]
+///
+/// Serializable for snapshot/restore; a restored series with a zero
+/// slot width is rejected at the snapshot layer, which validates
+/// before handing state back to the manager.
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct TimeSeries {
     slot: SimDuration,
     slots: Vec<f64>,
